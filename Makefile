@@ -1,0 +1,33 @@
+# Convenience targets. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test vet bench experiments experiments-full corpora clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# One quick-scale pass per paper table/figure plus component micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Reproduce the paper's evaluation at reduced scale (minutes).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -scale reduced -out paper_results.txt
+
+# Paper-scale corpora and 5 seeds (hours of single-core CPU).
+experiments-full:
+	$(GO) run ./cmd/experiments -exp all -scale full -out paper_results_full.txt
+
+# Generate both corpora as CSV trees under ./corpora.
+corpora:
+	$(GO) run ./cmd/datagen -corpus both -out ./corpora
+
+clean:
+	rm -rf corpora pythagoras-model.bin

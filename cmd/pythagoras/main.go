@@ -1,0 +1,216 @@
+// Command pythagoras trains, evaluates and applies the Pythagoras semantic
+// type detection model from the command line.
+//
+// Subcommands:
+//
+//	pythagoras train -data ./corpus -model model.bin
+//	pythagoras eval  -data ./corpus -model model.bin
+//	pythagoras predict -data ./lake -model model.bin [-table id]
+//	pythagoras serve -model model.bin -addr :8080
+//
+// -data points at a directory of <id>.csv files with <id>.labels.json
+// sidecars (as written by datagen or any conforming tool). Prediction works
+// on unlabeled CSVs too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/data"
+	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/server"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pythagoras {train|eval|predict|serve} [flags]")
+	os.Exit(2)
+}
+
+// encoderFlags adds the shared encoder configuration flags.
+func encoderFlags(fs *flag.FlagSet) (*int, *int) {
+	dim := fs.Int("dim", 64, "frozen encoder width (768 = paper scale)")
+	layers := fs.Int("lm-layers", 2, "frozen encoder depth")
+	return dim, layers
+}
+
+func buildEncoder(dim, layers int) *lm.Encoder {
+	heads := 4
+	for dim%heads != 0 {
+		heads--
+	}
+	return lm.NewEncoder(lm.Config{
+		Dim: dim, Layers: layers, Heads: heads, FFNDim: 2 * dim,
+		MaxLen: 512, Buckets: 1 << 15, Seed: 20240325,
+	})
+}
+
+func loadCorpus(dir string) *data.Corpus {
+	tables, err := table.LoadDir(dir)
+	if err != nil {
+		log.Fatalf("load corpus: %v", err)
+	}
+	c := &data.Corpus{Name: dir, Tables: tables}
+	c.BuildVocabulary()
+	return c
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataDir := fs.String("data", "", "corpus directory (required)")
+	modelPath := fs.String("model", "pythagoras-model.bin", "output model path")
+	epochs := fs.Int("epochs", 150, "training epochs")
+	lr := fs.Float64("lr", 1e-2, "initial learning rate (linearly decayed)")
+	seed := fs.Int64("seed", 1, "random seed")
+	dim, layers := encoderFlags(fs)
+	fs.Parse(args)
+	if *dataDir == "" {
+		log.Fatal("train: -data is required")
+	}
+
+	c := loadCorpus(*dataDir)
+	if err := c.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	train, val, test := eval.TrainValTestSplit(len(c.Tables), rng)
+
+	cfg := core.DefaultConfig(buildEncoder(*dim, *layers))
+	cfg.Epochs = *epochs
+	cfg.LearningRate = *lr
+	cfg.Seed = *seed
+	cfg.Logf = log.Printf
+
+	m, err := core.Train(c, train, val, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, _ := m.Evaluate(c, test)
+	fmt.Printf("test weighted F1: numeric=%.3f non-numeric=%.3f overall=%.3f\n",
+		split.Numeric.WeightedF1, split.NonNumeric.WeightedF1, split.Overall.WeightedF1)
+	fmt.Printf("test macro F1:    numeric=%.3f non-numeric=%.3f overall=%.3f\n",
+		split.Numeric.MacroF1, split.NonNumeric.MacroF1, split.Overall.MacroF1)
+	if err := m.SaveFile(*modelPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved to %s (%d parameters)\n", *modelPath, m.Params().Count())
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	dataDir := fs.String("data", "", "corpus directory (required)")
+	modelPath := fs.String("model", "pythagoras-model.bin", "model path")
+	report := fs.Int("report", 0, "print a per-class report for the top N types by support")
+	confusions := fs.Int("confusions", 0, "print the top N most frequent misclassification pairs")
+	dim, layers := encoderFlags(fs)
+	fs.Parse(args)
+	if *dataDir == "" {
+		log.Fatal("eval: -data is required")
+	}
+
+	m, err := core.LoadFile(*modelPath, core.Config{Encoder: buildEncoder(*dim, *layers)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := loadCorpus(*dataDir)
+	idx := make([]int, len(c.Tables))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Re-map corpus labels into the model's vocabulary.
+	c.Types = m.Types()
+	c.LabelIndex = map[string]int{}
+	for i, st := range c.Types {
+		c.LabelIndex[st] = i
+	}
+	split, preds := m.Evaluate(c, idx)
+	fmt.Printf("columns scored: %d\n", len(preds))
+	fmt.Printf("weighted F1: numeric=%.3f non-numeric=%.3f overall=%.3f\n",
+		split.Numeric.WeightedF1, split.NonNumeric.WeightedF1, split.Overall.WeightedF1)
+	fmt.Printf("macro F1:    numeric=%.3f non-numeric=%.3f overall=%.3f\n",
+		split.Numeric.MacroF1, split.NonNumeric.MacroF1, split.Overall.MacroF1)
+	if *report > 0 {
+		fmt.Println()
+		fmt.Print(eval.Report(split.Overall, eval.ReportOptions{
+			ClassNames: m.Types(), SortBySupport: true, TopK: *report,
+		}))
+	}
+	if *confusions > 0 {
+		fmt.Println("\ntop confusions (true → predicted):")
+		for _, cp := range eval.TopConfusions(preds, *confusions) {
+			fmt.Printf("  %3d×  %-45s → %s\n", cp.Count, m.Types()[cp.True], m.Types()[cp.Pred])
+		}
+	}
+}
+
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	dataDir := fs.String("data", "", "directory of CSVs (required)")
+	modelPath := fs.String("model", "pythagoras-model.bin", "model path")
+	tableID := fs.String("table", "", "predict only this table id")
+	dim, layers := encoderFlags(fs)
+	fs.Parse(args)
+	if *dataDir == "" {
+		log.Fatal("predict: -data is required")
+	}
+
+	m, err := core.LoadFile(*modelPath, core.Config{Encoder: buildEncoder(*dim, *layers)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := table.LoadDir(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if *tableID != "" && t.ID != *tableID {
+			continue
+		}
+		fmt.Printf("table %s (%q):\n", t.ID, t.Name)
+		for _, p := range m.PredictTable(t) {
+			fmt.Printf("  %-24s [%s] → %-45s (%.2f)\n", p.Header, p.Kind, p.Type, p.Confidence)
+		}
+	}
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelPath := fs.String("model", "pythagoras-model.bin", "model path")
+	addr := fs.String("addr", ":8080", "listen address")
+	minConf := fs.Float64("min-confidence", 0.3, "discovery-index confidence threshold")
+	dim, layers := encoderFlags(fs)
+	fs.Parse(args)
+
+	m, err := core.LoadFile(*modelPath, core.Config{Encoder: buildEncoder(*dim, *layers)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(m, *minConf)
+	log.Printf("pythagoras serving on %s (vocabulary: %d types)", *addr, len(m.Types()))
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,73 @@
+package pythagoras_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline exercises the real binaries end to end:
+// datagen → pythagoras train → pythagoras predict.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary integration test")
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		cmd.Env = os.Environ()
+		if raw, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, raw)
+		}
+		return out
+	}
+	datagen := build("datagen", "./cmd/datagen")
+	pyth := build("pythagoras", "./cmd/pythagoras")
+
+	work := t.TempDir()
+	run := func(name string, args ...string) string {
+		cmd := exec.Command(name, args...)
+		cmd.Dir = work
+		raw, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(name), args, err, raw)
+		}
+		return string(raw)
+	}
+
+	// 1. Generate a tiny corpus.
+	out := run(datagen, "-corpus", "sports", "-tables", "24", "-out", work)
+	if !strings.Contains(out, "SportsTables") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	corpusDir := filepath.Join(work, "sportstables")
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil || len(entries) < 24 {
+		t.Fatalf("corpus dir: %v, %d entries", err, len(entries))
+	}
+
+	// 2. Train briefly.
+	model := filepath.Join(work, "model.bin")
+	out = run(pyth, "train", "-data", corpusDir, "-model", model,
+		"-epochs", "3", "-dim", "16", "-lm-layers", "1")
+	if !strings.Contains(out, "model saved") {
+		t.Fatalf("train output: %s", out)
+	}
+
+	// 3. Evaluate the saved model.
+	out = run(pyth, "eval", "-data", corpusDir, "-model", model,
+		"-dim", "16", "-lm-layers", "1")
+	if !strings.Contains(out, "weighted F1") {
+		t.Fatalf("eval output: %s", out)
+	}
+
+	// 4. Predict one table.
+	out = run(pyth, "predict", "-data", corpusDir, "-model", model,
+		"-table", "sports_00000", "-dim", "16", "-lm-layers", "1")
+	if !strings.Contains(out, "sports_00000") || !strings.Contains(out, "→") {
+		t.Fatalf("predict output: %s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/sematype/pythagoras
+
+go 1.22

@@ -1,0 +1,569 @@
+// Package autodiff implements tape-based reverse-mode automatic
+// differentiation over tensor.Matrix values.
+//
+// A Tape records every primitive operation applied to Var values; calling
+// Backward on a scalar loss Var replays the tape in reverse, accumulating
+// gradients into every Var created with Param (trainable parameters) or
+// reached through recorded ops. The op set is exactly what Pythagoras and
+// its baselines need: dense affine layers, pointwise nonlinearities,
+// dropout, row gather/scatter (the message-passing primitives of the
+// heterogeneous GNN), pooling reductions, concatenation, and a fused
+// softmax-cross-entropy loss.
+//
+// Typical usage:
+//
+//	tape := autodiff.NewTape()
+//	x := tape.Constant(input)
+//	w := tape.Param(weights)       // gradient will be accumulated
+//	h := tape.ReLU(tape.MatMul(x, w))
+//	loss := tape.SoftmaxCrossEntropy(h, labels, nil)
+//	tape.Backward(loss)
+//	// w.Grad now holds ∂loss/∂w
+package autodiff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+// Var is a node in the computation graph: a value plus (after Backward) its
+// gradient with respect to the loss.
+type Var struct {
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix // nil until Backward reaches this Var
+	tape  *Tape
+	id    int
+	// needsGrad marks Vars that are parameters or depend on parameters;
+	// backward skips subtrees that cannot influence any parameter.
+	needsGrad bool
+}
+
+// Shape returns the (rows, cols) of the variable's value.
+func (v *Var) Shape() (int, int) { return v.Value.Rows, v.Value.Cols }
+
+type opRecord struct {
+	output   *Var
+	backward func()
+}
+
+// Tape records operations for reverse-mode differentiation. A Tape is not
+// safe for concurrent use; build one per goroutine/training step.
+type Tape struct {
+	ops    []opRecord
+	nextID int
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Reset discards all recorded operations so the tape can be reused,
+// avoiding re-allocation in tight training loops.
+func (t *Tape) Reset() {
+	t.ops = t.ops[:0]
+	t.nextID = 0
+}
+
+func (t *Tape) newVar(val *tensor.Matrix, needsGrad bool) *Var {
+	v := &Var{Value: val, tape: t, id: t.nextID, needsGrad: needsGrad}
+	t.nextID++
+	return v
+}
+
+// Constant wraps a matrix that requires no gradient (inputs, labels,
+// precomputed frozen-LM embeddings).
+func (t *Tape) Constant(m *tensor.Matrix) *Var { return t.newVar(m, false) }
+
+// Param wraps a trainable parameter matrix; Backward accumulates into its
+// Grad field. The matrix is NOT copied: the caller owns the storage (this is
+// what lets an optimizer update parameters in place between steps).
+func (t *Tape) Param(m *tensor.Matrix) *Var {
+	v := t.newVar(m, true)
+	return v
+}
+
+func (t *Tape) record(out *Var, backward func()) {
+	t.ops = append(t.ops, opRecord{output: out, backward: backward})
+}
+
+// ensureGrad allocates v.Grad on demand.
+func ensureGrad(v *Var) *tensor.Matrix {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Value.Rows, v.Value.Cols)
+	}
+	return v.Grad
+}
+
+// Backward runs reverse-mode accumulation from loss, which must be a 1×1
+// Var produced by this tape. Gradients accumulate (+=) into every
+// needsGrad Var; call ZeroGrad / optimizer-side zeroing between steps.
+func (t *Tape) Backward(loss *Var) {
+	if loss.tape != t {
+		panic("autodiff: Backward on foreign tape")
+	}
+	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Backward needs scalar loss, got %v", loss.Value))
+	}
+	ensureGrad(loss).Data[0] = 1
+	for i := len(t.ops) - 1; i >= 0; i-- {
+		op := t.ops[i]
+		if op.output.Grad == nil || !op.output.needsGrad {
+			continue
+		}
+		op.backward()
+	}
+}
+
+// --- primitive operations ---
+
+// MatMul returns a·b.
+func (t *Tape) MatMul(a, b *Var) *Var {
+	outVal := tensor.MatMul(a.Value, b.Value)
+	out := t.newVar(outVal, a.needsGrad || b.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			g := out.Grad
+			if a.needsGrad {
+				ensureGrad(a).AddInPlace(tensor.MatMulTransposeB(g, b.Value))
+			}
+			if b.needsGrad {
+				ensureGrad(b).AddInPlace(tensor.MatMulTransposeA(a.Value, g))
+			}
+		})
+	}
+	return out
+}
+
+// Add returns a+b (same shape).
+func (t *Tape) Add(a, b *Var) *Var {
+	out := t.newVar(tensor.Add(a.Value, b.Value), a.needsGrad || b.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			if a.needsGrad {
+				ensureGrad(a).AddInPlace(out.Grad)
+			}
+			if b.needsGrad {
+				ensureGrad(b).AddInPlace(out.Grad)
+			}
+		})
+	}
+	return out
+}
+
+// AddRow broadcasts the 1×C row vector bias over every row of a.
+func (t *Tape) AddRow(a, bias *Var) *Var {
+	out := t.newVar(tensor.AddRowBroadcast(a.Value, bias.Value), a.needsGrad || bias.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			if a.needsGrad {
+				ensureGrad(a).AddInPlace(out.Grad)
+			}
+			if bias.needsGrad {
+				ensureGrad(bias).AddInPlace(tensor.SumRows(out.Grad))
+			}
+		})
+	}
+	return out
+}
+
+// Scale returns s·a for scalar constant s.
+func (t *Tape) Scale(a *Var, s float64) *Var {
+	out := t.newVar(a.Value.Scale(s), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ensureGrad(a).AddScaledInPlace(out.Grad, s)
+		})
+	}
+	return out
+}
+
+// Mul returns the elementwise product a⊙b.
+func (t *Tape) Mul(a, b *Var) *Var {
+	out := t.newVar(tensor.Mul(a.Value, b.Value), a.needsGrad || b.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			if a.needsGrad {
+				ensureGrad(a).AddInPlace(tensor.Mul(out.Grad, b.Value))
+			}
+			if b.needsGrad {
+				ensureGrad(b).AddInPlace(tensor.Mul(out.Grad, a.Value))
+			}
+		})
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func (t *Tape) ReLU(a *Var) *Var {
+	out := t.newVar(a.Value.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i, v := range a.Value.Data {
+				if v > 0 {
+					ga.Data[i] += out.Grad.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// LeakyReLU applies x>0 ? x : slope·x elementwise.
+func (t *Tape) LeakyReLU(a *Var, slope float64) *Var {
+	out := t.newVar(a.Value.Apply(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return slope * v
+	}), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i, v := range a.Value.Data {
+				if v > 0 {
+					ga.Data[i] += out.Grad.Data[i]
+				} else {
+					ga.Data[i] += slope * out.Grad.Data[i]
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (t *Tape) Tanh(a *Var) *Var {
+	out := t.newVar(a.Value.Apply(math.Tanh), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i, y := range out.Value.Data {
+				ga.Data[i] += out.Grad.Data[i] * (1 - y*y)
+			}
+		})
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+e^-x) elementwise.
+func (t *Tape) Sigmoid(a *Var) *Var {
+	out := t.newVar(a.Value.Apply(func(v float64) float64 {
+		return 1 / (1 + math.Exp(-v))
+	}), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i, y := range out.Value.Data {
+				ga.Data[i] += out.Grad.Data[i] * y * (1 - y)
+			}
+		})
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability p and scales survivors by
+// 1/(1-p) (inverted dropout). When training is false it is the identity.
+func (t *Tape) Dropout(a *Var, p float64, rng *rand.Rand, training bool) *Var {
+	if !training || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("autodiff: dropout probability must be < 1")
+	}
+	mask := make([]float64, len(a.Value.Data))
+	keep := 1 / (1 - p)
+	val := a.Value.Clone()
+	for i := range mask {
+		if rng.Float64() < p {
+			mask[i] = 0
+			val.Data[i] = 0
+		} else {
+			mask[i] = keep
+			val.Data[i] *= keep
+		}
+	}
+	out := t.newVar(val, a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i, m := range mask {
+				ga.Data[i] += out.Grad.Data[i] * m
+			}
+		})
+	}
+	return out
+}
+
+// GatherRows selects rows of a by index: out.Row(i) = a.Row(idx[i]).
+func (t *Tape) GatherRows(a *Var, idx []int) *Var {
+	out := t.newVar(tensor.GatherRows(a.Value, idx), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			tensor.ScatterAddRows(ensureGrad(a), out.Grad, idx)
+		})
+	}
+	return out
+}
+
+// ScatterAddRows produces an outRows×Cols matrix where row idx[i] receives
+// the sum of all a rows mapped to it. This is the message-aggregation
+// primitive of the GNN.
+func (t *Tape) ScatterAddRows(a *Var, idx []int, outRows int) *Var {
+	val := tensor.New(outRows, a.Value.Cols)
+	tensor.ScatterAddRows(val, a.Value, idx)
+	out := t.newVar(val, a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ensureGrad(a).AddInPlace(tensor.GatherRows(out.Grad, idx))
+		})
+	}
+	return out
+}
+
+// ScaleRows multiplies row i of a by s[i] (used for degree normalization).
+func (t *Tape) ScaleRows(a *Var, s []float64) *Var {
+	out := t.newVar(tensor.ScaleRows(a.Value, s), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ensureGrad(a).AddInPlace(tensor.ScaleRows(out.Grad, s))
+		})
+	}
+	return out
+}
+
+// MeanRows reduces a to its 1×C column-mean vector.
+func (t *Tape) MeanRows(a *Var) *Var {
+	out := t.newVar(tensor.MeanRows(a.Value), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			inv := 1 / float64(a.Value.Rows)
+			ga := ensureGrad(a)
+			for i := 0; i < a.Value.Rows; i++ {
+				row := ga.Row(i)
+				for j, g := range out.Grad.Data {
+					row[j] += g * inv
+				}
+			}
+		})
+	}
+	return out
+}
+
+// SumRows reduces a to its 1×C column-sum vector.
+func (t *Tape) SumRows(a *Var) *Var {
+	out := t.newVar(tensor.SumRows(a.Value), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i := 0; i < a.Value.Rows; i++ {
+				row := ga.Row(i)
+				for j, g := range out.Grad.Data {
+					row[j] += g
+				}
+			}
+		})
+	}
+	return out
+}
+
+// ConcatCols concatenates variables horizontally (shared row count).
+func (t *Tape) ConcatCols(vars ...*Var) *Var {
+	vals := make([]*tensor.Matrix, len(vars))
+	needs := false
+	for i, v := range vars {
+		vals[i] = v.Value
+		needs = needs || v.needsGrad
+	}
+	out := t.newVar(tensor.ConcatCols(vals...), needs)
+	if out.needsGrad {
+		t.record(out, func() {
+			at := 0
+			for _, v := range vars {
+				w := v.Value.Cols
+				if v.needsGrad {
+					gv := ensureGrad(v)
+					for i := 0; i < v.Value.Rows; i++ {
+						src := out.Grad.Row(i)[at : at+w]
+						dst := gv.Row(i)
+						for j, g := range src {
+							dst[j] += g
+						}
+					}
+				}
+				at += w
+			}
+		})
+	}
+	return out
+}
+
+// ConcatRows stacks variables vertically (shared column count).
+func (t *Tape) ConcatRows(vars ...*Var) *Var {
+	vals := make([]*tensor.Matrix, len(vars))
+	needs := false
+	for i, v := range vars {
+		vals[i] = v.Value
+		needs = needs || v.needsGrad
+	}
+	out := t.newVar(tensor.ConcatRows(vals...), needs)
+	if out.needsGrad {
+		t.record(out, func() {
+			at := 0
+			for _, v := range vars {
+				n := v.Value.Rows
+				if v.needsGrad {
+					gv := ensureGrad(v)
+					for i := 0; i < n; i++ {
+						src := out.Grad.Row(at + i)
+						dst := gv.Row(i)
+						for j, g := range src {
+							dst[j] += g
+						}
+					}
+				}
+				at += n
+			}
+		})
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy between row-wise softmax
+// of logits and integer labels. Rows with label < 0 are ignored (masked).
+// weights, if non-nil, rescales each row's contribution (e.g. class
+// re-weighting); it must have len == logits.Rows.
+// Returns a 1×1 loss Var.
+func (t *Tape) SoftmaxCrossEntropy(logits *Var, labels []int, weights []float64) *Var {
+	n, c := logits.Value.Rows, logits.Value.Cols
+	if len(labels) != n {
+		panic(fmt.Sprintf("autodiff: %d labels for %d rows", len(labels), n))
+	}
+	probs := tensor.New(n, c)
+	var loss float64
+	var totalW float64
+	for i := 0; i < n; i++ {
+		if labels[i] < 0 {
+			continue
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		row := logits.Value.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		prow := probs.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			prow[j] = e
+			z += e
+		}
+		for j := range prow {
+			prow[j] /= z
+		}
+		loss += -w * math.Log(math.Max(prow[labels[i]], 1e-12))
+		totalW += w
+	}
+	if totalW == 0 {
+		totalW = 1
+	}
+	loss /= totalW
+	out := t.newVar(tensor.FromSlice(1, 1, []float64{loss}), logits.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			g := out.Grad.Data[0]
+			gl := ensureGrad(logits)
+			for i := 0; i < n; i++ {
+				if labels[i] < 0 {
+					continue
+				}
+				w := 1.0
+				if weights != nil {
+					w = weights[i]
+				}
+				prow := probs.Row(i)
+				grow := gl.Row(i)
+				scale := g * w / totalW
+				for j, p := range prow {
+					grow[j] += scale * p
+				}
+				grow[labels[i]] -= scale
+			}
+		})
+	}
+	return out
+}
+
+// L2Penalty returns 0.5·λ·‖a‖² as a 1×1 Var (weight decay as an explicit
+// loss term).
+func (t *Tape) L2Penalty(a *Var, lambda float64) *Var {
+	var s float64
+	for _, v := range a.Value.Data {
+		s += v * v
+	}
+	out := t.newVar(tensor.FromSlice(1, 1, []float64{0.5 * lambda * s}), a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ensureGrad(a).AddScaledInPlace(a.Value, lambda*out.Grad.Data[0])
+		})
+	}
+	return out
+}
+
+// Softmax returns the row-wise softmax of a (forward convenience for
+// inference paths; gradients flow through it correctly as well).
+func (t *Tape) Softmax(a *Var) *Var {
+	n, c := a.Value.Rows, a.Value.Cols
+	val := tensor.New(n, c)
+	for i := 0; i < n; i++ {
+		row := a.Value.Row(i)
+		orow := val.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var z float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			z += e
+		}
+		for j := range orow {
+			orow[j] /= z
+		}
+	}
+	out := t.newVar(val, a.needsGrad)
+	if out.needsGrad {
+		t.record(out, func() {
+			ga := ensureGrad(a)
+			for i := 0; i < n; i++ {
+				y := out.Value.Row(i)
+				gy := out.Grad.Row(i)
+				var dot float64
+				for j := range y {
+					dot += y[j] * gy[j]
+				}
+				grow := ga.Row(i)
+				for j := range y {
+					grow[j] += y[j] * (gy[j] - dot)
+				}
+			}
+		})
+	}
+	return out
+}

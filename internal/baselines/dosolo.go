@@ -1,0 +1,63 @@
+package baselines
+
+import (
+	"github.com/sematype/pythagoras/internal/data"
+	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// DosoloFeaturizer reproduces Dosolo [26]: each column is serialized to
+// "[CLS] v1 v2 … [SEP]", encoded by the frozen LM, and the CLS vector alone
+// feeds the classification head. No table context of any kind — the
+// columnwise lower bound the paper's ablation "w/o V_tn, V_nn, V_ncf"
+// collapses to.
+type DosoloFeaturizer struct {
+	enc *lm.Encoder
+}
+
+// NewDosoloFeaturizer returns the featurizer.
+func NewDosoloFeaturizer(enc *lm.Encoder) *DosoloFeaturizer {
+	return &DosoloFeaturizer{enc: enc}
+}
+
+// Name implements Featurizer.
+func (d *DosoloFeaturizer) Name() string { return "Dosolo" }
+
+// Dim implements Featurizer.
+func (d *DosoloFeaturizer) Dim() int { return d.enc.Dim() }
+
+// Groups implements Featurizer.
+func (d *DosoloFeaturizer) Groups() []Group { return wholeGroup(d.Dim()) }
+
+// FeaturizeTable implements Featurizer.
+func (d *DosoloFeaturizer) FeaturizeTable(t *table.Table) [][]float64 {
+	out := make([][]float64, len(t.Columns))
+	for i, c := range t.Columns {
+		emb := d.enc.Encode(table.SerializeColumn(c, table.SerializeOptions{}))
+		out[i] = append([]float64(nil), emb...)
+	}
+	return out
+}
+
+// Dosolo is the trained columnwise LM model.
+type Dosolo struct {
+	f   *DosoloFeaturizer
+	cls *Classifier
+}
+
+// TrainDosolo trains Dosolo on the corpus splits.
+func TrainDosolo(c *data.Corpus, trainIdx, valIdx []int, enc *lm.Encoder, opts TrainOpts) *Dosolo {
+	f := NewDosoloFeaturizer(enc)
+	train := BuildDataset(f, c, trainIdx)
+	val := BuildDataset(f, c, valIdx)
+	cls := TrainClassifier(f.Groups(), len(c.Types), train, val, opts)
+	return &Dosolo{f: f, cls: cls}
+}
+
+// Evaluate scores the model on the given tables.
+func (m *Dosolo) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Prediction) {
+	d := BuildDataset(m.f, c, idx)
+	preds := m.cls.Predict(d)
+	return eval.ComputeSplit(preds), preds
+}

@@ -1,0 +1,79 @@
+package colfeat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCharProfileDim(t *testing.T) {
+	if got := len(CharProfile([]string{"abc"})); got != CharProfileDim {
+		t.Fatalf("profile dim = %d, want %d", got, CharProfileDim)
+	}
+}
+
+func TestCharProfileFrequencies(t *testing.T) {
+	out := CharProfile([]string{"abc", "ABC", "123"})
+	if out[0] != 2.0/9 { // 'a' + 'A'
+		t.Fatalf("freq(a) = %v", out[0])
+	}
+	if out[26+1] != 1.0/9 { // digit '1'
+		t.Fatalf("freq(1) = %v", out[26+1])
+	}
+}
+
+func TestCharProfileEmpty(t *testing.T) {
+	for _, v := range CharProfile(nil) {
+		if v != 0 {
+			t.Fatal("empty input must be all zeros")
+		}
+	}
+}
+
+func TestCharProfileSeparatesContentKinds(t *testing.T) {
+	// Positions ("PG/SF") vs names ("Lebron James") vs numbers must have
+	// clearly different profiles — the property Sherlock relies on.
+	positions := CharProfile([]string{"PG/SF", "PF/C", "SG"})
+	names := CharProfile([]string{"Lebron James", "Maria Silva"})
+	numbers := CharProfile([]string{"28.1", "15.2", "7.5"})
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	if dist(positions, names) < 0.1 || dist(names, numbers) < 0.1 {
+		t.Fatalf("profiles not separated: pn=%v nn=%v",
+			dist(positions, names), dist(names, numbers))
+	}
+}
+
+func TestCharProfileFiniteProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		for _, v := range CharProfile(vals) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCharProfileFrequenciesSumBounded(t *testing.T) {
+	out := CharProfile([]string{"hello world", "foo-bar_baz", "42"})
+	var s float64
+	for i := 0; i < 44; i++ {
+		if out[i] < 0 {
+			t.Fatal("negative frequency")
+		}
+		s += out[i]
+	}
+	if s > 1+1e-9 {
+		t.Fatalf("frequency mass = %v > 1", s)
+	}
+}

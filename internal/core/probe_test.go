@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// TestEncoderDiscriminatesDomainSpecificColumns verifies the property the
+// whole architecture rests on: serialized columns whose value vocabulary is
+// domain-specific (field positions, team names) must be nearest-neighbor
+// separable in the frozen encoder's space, while columns drawn from shared
+// pools (player names) are expected to be ambiguous — that ambiguity is
+// exactly what the graph context resolves.
+func TestEncoderDiscriminatesDomainSpecificColumns(t *testing.T) {
+	c := tinyCorpus(60)
+	enc := tinyEncoder()
+	type item struct {
+		vec   []float64
+		label string
+	}
+	var items []item
+	for _, tb := range c.Tables {
+		for _, col := range tb.Columns {
+			if col.Kind != table.KindText {
+				continue
+			}
+			txt := table.SerializeColumn(col, table.SerializeOptions{})
+			items = append(items, item{enc.Encode(txt), col.SemanticType})
+		}
+	}
+	cos := func(a, b []float64) float64 {
+		var d, na, nb float64
+		for i := range a {
+			d += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		return d / math.Sqrt(na*nb)
+	}
+	correct := map[string]int{}
+	total := map[string]int{}
+	for i, it := range items {
+		best, bestJ := -2.0, -1
+		for j, jt := range items {
+			if i == j {
+				continue
+			}
+			if s := cos(it.vec, jt.vec); s > best {
+				best, bestJ = s, j
+			}
+		}
+		suffix := it.label[strings.LastIndex(it.label, "."):]
+		total[suffix]++
+		if items[bestJ].label == it.label {
+			correct[suffix]++
+		}
+	}
+	posAcc := float64(correct[".position"]) / float64(total[".position"])
+	if posAcc < 0.5 {
+		t.Fatalf("position columns 1-NN accuracy = %.2f, want ≥0.5 (encoder broken?)", posAcc)
+	}
+	nameAcc := float64(correct[".name"]) / float64(total[".name"])
+	if nameAcc > posAcc {
+		t.Fatalf("shared-pool name columns (%.2f) should be harder than positions (%.2f)", nameAcc, posAcc)
+	}
+}

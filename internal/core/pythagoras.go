@@ -1,0 +1,656 @@
+// Package core implements the Pythagoras model (paper §3): a frozen
+// language model producing initial node representations, a subnetwork
+// embedding the 192 statistical features of numeric columns, a
+// heterogeneous GNN exchanging contextual information along the table
+// graph's typed edges, and a final classification layer over the corpus's
+// semantic types. Training follows §4.2: Adam with a linear-decay schedule
+// and no warm-up, cross-entropy loss, early stopping on validation
+// weighted F1, and checkpoint restoration of the best epoch.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"github.com/sematype/pythagoras/internal/autodiff"
+	"github.com/sematype/pythagoras/internal/colfeat"
+	"github.com/sematype/pythagoras/internal/data"
+	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/features"
+	"github.com/sematype/pythagoras/internal/gnn"
+	"github.com/sematype/pythagoras/internal/graph"
+	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/nn"
+	"github.com/sematype/pythagoras/internal/table"
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+// Config controls model geometry and training.
+type Config struct {
+	// Encoder is the frozen LM shared by all graph nodes. Required.
+	Encoder *lm.Encoder
+	// GNNLayers stacks that many heterogeneous conv layers (default 2; one
+	// layer injects all direct context, the second composes it — e.g. a
+	// numeric column seeing a text column that has already absorbed the
+	// table name).
+	GNNLayers int
+	// HiddenDim is the GNN hidden width (0 = the encoder width). Widening
+	// it beyond the encoder relieves the classifier bottleneck when the
+	// type vocabulary is large.
+	HiddenDim int
+	// LearningRate is Adam's initial rate, decayed linearly to zero over
+	// Epochs with no warm-up (paper: 1e-5 at BERT scale; our default 3e-3
+	// suits the smaller default width).
+	LearningRate float64
+	Epochs       int
+	// BatchSize is the number of tables whose graphs are unioned per step.
+	BatchSize int
+	// Patience is the early-stopping patience in epochs.
+	Patience int
+	Dropout  float64
+	Seed     int64
+	// Graph carries the ablation switches (Table 4) and serialization
+	// options.
+	Graph graph.BuildOptions
+	// PlainLMStates disables the enriched initial column embeddings
+	// (frozen char-profile projection + mean token embedding added to the
+	// LM CLS vector). The paper's footnote 3 leaves the initial embedding
+	// method open; the enrichment compensates for the pseudo-BERT being a
+	// weaker feature extractor than real BERT (DESIGN.md §2).
+	PlainLMStates bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the training configuration used by the experiment
+// harness at reduced scale.
+func DefaultConfig(enc *lm.Encoder) Config {
+	return Config{
+		Encoder:      enc,
+		GNNLayers:    2,
+		LearningRate: 1e-2,
+		Epochs:       150,
+		BatchSize:    8,
+		Patience:     30,
+		Dropout:      0.1,
+		Seed:         1,
+	}
+}
+
+// Model is a trained Pythagoras classifier.
+type Model struct {
+	cfg        Config
+	enc        *lm.Encoder
+	params     *nn.Params
+	subnet     *nn.Linear // features.Dim → hidden (the paper's subnetwork)
+	stack      *gnn.Stack
+	classifier *nn.Linear
+	types      []string
+	labelIndex map[string]int
+	// featMean/featStd standardize the 192 statistical features, fitted on
+	// the training split (and persisted with the model).
+	featMean, featStd []float64
+	// lmMean/lmStd whiten the frozen initial node states: CLS vectors share
+	// a large common component (CLS token + layer-norm geometry) that
+	// drowns the discriminative directions; per-dim standardization fitted
+	// on the training split restores them. Persisted with the model.
+	lmMean, lmStd []float64
+	// temperature is the calibrated softmax temperature (0 = uncalibrated,
+	// treated as 1). See CalibrateTemperature.
+	temperature float64
+}
+
+// stateDim returns the width of initial node states: the LM CLS vector
+// alone (PlainLMStates), or CLS ‖ char-profile ‖ mean-token-embedding —
+// block concatenation keeps each frozen signal separable for the first GNN
+// layer, mirroring Sherlock's grouped subnetworks (DESIGN.md §5).
+func (m *Model) stateDim() int {
+	if m.cfg.PlainLMStates {
+		return m.enc.Dim()
+	}
+	return 2*m.enc.Dim() + colfeat.CharProfileDim
+}
+
+// Types returns the semantic-type vocabulary (class index order).
+func (m *Model) Types() []string { return m.types }
+
+// Params exposes the trainable parameters (persistence, inspection).
+func (m *Model) Params() *nn.Params { return m.params }
+
+// newModel builds an untrained model for the vocabulary.
+func newModel(cfg Config, types []string) *Model {
+	if cfg.Encoder == nil {
+		panic("core: Config.Encoder is required")
+	}
+	if cfg.GNNLayers <= 0 {
+		cfg.GNNLayers = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hidden := cfg.Encoder.Dim()
+	p := nn.NewParams()
+	m := &Model{
+		cfg:    cfg,
+		enc:    cfg.Encoder,
+		params: p,
+		types:  append([]string(nil), types...),
+	}
+	m.labelIndex = make(map[string]int, len(types))
+	for i, st := range m.types {
+		m.labelIndex[st] = i
+	}
+	encDim := hidden
+	if cfg.HiddenDim > 0 {
+		hidden = cfg.HiddenDim
+	}
+	_ = encDim
+	stateDim := m.stateDim()
+	m.subnet = nn.NewLinear(p, "subnet", features.Dim, stateDim, rng)
+	dims := make([]int, cfg.GNNLayers+1)
+	dims[0] = stateDim
+	for i := 1; i < len(dims); i++ {
+		dims[i] = hidden
+	}
+	m.stack = gnn.NewStack(p, "gnn", dims, rng)
+	m.classifier = nn.NewLinear(p, "classifier", hidden, len(types), rng)
+	return m
+}
+
+// prepared caches everything per table that does not change across epochs:
+// the graph, the frozen-LM states of text-bearing nodes, and the raw
+// feature rows of V_ncf nodes.
+type prepared struct {
+	g *graph.Graph
+	// lmStates is NumNodes×hidden; V_ncf rows are zero (they are filled by
+	// the subnetwork inside the tape).
+	lmStates *tensor.Matrix
+	// featRows is len(ncfIdx)×features.Dim.
+	featRows *tensor.Matrix
+	ncfIdx   []int
+}
+
+func (m *Model) prepare(t *table.Table) *prepared {
+	g := graph.Build(t, m.labelIndex, m.cfg.Graph)
+	p := &prepared{g: g, lmStates: tensor.New(g.NumNodes(), m.stateDim())}
+	var featData [][]float64
+	for i, nt := range g.Types {
+		if nt == graph.NodeNumericFeatures {
+			p.ncfIdx = append(p.ncfIdx, i)
+			featData = append(featData, g.Feats[i])
+			continue
+		}
+		row := p.lmStates.Row(i)
+		copy(row, m.enc.Encode(g.Texts[i]))
+		if !m.cfg.PlainLMStates {
+			var vals []string
+			if ci := g.Meta[i].ColIndex; ci >= 0 {
+				vals = t.Columns[ci].ValueStrings(0)
+			} else {
+				vals = []string{t.Name}
+			}
+			m.fillRichBlocks(row, vals)
+		}
+	}
+	if len(featData) > 0 {
+		p.featRows = tensor.FromRows(featData)
+	} else {
+		p.featRows = tensor.New(0, features.Dim)
+	}
+	m.standardize(p.featRows)
+	m.whitenStates(p)
+	return p
+}
+
+// whitenStates applies the fitted node-state standardization in place
+// (no-op before fitStateScaling runs). V_ncf rows stay zero — they are
+// filled by the subnetwork inside the tape.
+func (m *Model) whitenStates(p *prepared) {
+	if m.lmMean == nil {
+		return
+	}
+	ncf := map[int]bool{}
+	for _, i := range p.ncfIdx {
+		ncf[i] = true
+	}
+	for i := 0; i < p.lmStates.Rows; i++ {
+		if ncf[i] {
+			continue
+		}
+		row := p.lmStates.Row(i)
+		for j := range row {
+			row[j] = (row[j] - m.lmMean[j]) / m.lmStd[j]
+		}
+	}
+}
+
+// fitStateScaling computes per-dim mean/std of the frozen node states over
+// the prepared training tables and whitens them in place.
+func (m *Model) fitStateScaling(ps []*prepared) {
+	dim := m.stateDim()
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	n := 0
+	for _, p := range ps {
+		ncf := map[int]bool{}
+		for _, i := range p.ncfIdx {
+			ncf[i] = true
+		}
+		for i := 0; i < p.lmStates.Rows; i++ {
+			if ncf[i] {
+				continue
+			}
+			for j, v := range p.lmStates.Row(i) {
+				mean[j] += v
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, p := range ps {
+		ncf := map[int]bool{}
+		for _, i := range p.ncfIdx {
+			ncf[i] = true
+		}
+		for i := 0; i < p.lmStates.Rows; i++ {
+			if ncf[i] {
+				continue
+			}
+			for j, v := range p.lmStates.Row(i) {
+				d := v - mean[j]
+				std[j] += d * d
+			}
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+		if std[j] < 1e-6 {
+			std[j] = 1
+		}
+	}
+	m.lmMean, m.lmStd = mean, std
+	for _, p := range ps {
+		m.whitenStates(p)
+	}
+}
+
+// fillRichBlocks writes the char-profile and mean-token-embedding blocks
+// of a node's initial state (the CLS block is already in place).
+func (m *Model) fillRichBlocks(row []float64, vals []string) {
+	encDim := m.enc.Dim()
+	// block 2: character profile
+	copy(row[encDim:encDim+colfeat.CharProfileDim], colfeat.CharProfile(vals))
+	// block 3: mean token embedding
+	meanBlock := row[encDim+colfeat.CharProfileDim:]
+	count := 0
+	for _, v := range vals {
+		for _, tok := range m.enc.Tokenize(v) {
+			emb := m.enc.TokenEmbedding(tok)
+			for i, x := range emb {
+				meanBlock[i] += x
+			}
+			count++
+		}
+	}
+	if count > 0 {
+		inv := 1 / float64(count)
+		for i := range meanBlock {
+			meanBlock[i] *= inv
+		}
+	}
+}
+
+// standardize applies the fitted feature scaling in place (no-op before
+// fitFeatureScaling runs).
+func (m *Model) standardize(rows *tensor.Matrix) {
+	if m.featMean == nil {
+		return
+	}
+	for i := 0; i < rows.Rows; i++ {
+		row := rows.Row(i)
+		for j := range row {
+			row[j] = (row[j] - m.featMean[j]) / m.featStd[j]
+		}
+	}
+}
+
+// fitFeatureScaling computes per-feature mean/std over the prepared
+// training tables and standardizes them in place.
+func (m *Model) fitFeatureScaling(ps []*prepared) {
+	mean := make([]float64, features.Dim)
+	std := make([]float64, features.Dim)
+	n := 0
+	for _, p := range ps {
+		for i := 0; i < p.featRows.Rows; i++ {
+			row := p.featRows.Row(i)
+			for j, v := range row {
+				mean[j] += v
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, p := range ps {
+		for i := 0; i < p.featRows.Rows; i++ {
+			row := p.featRows.Row(i)
+			for j, v := range row {
+				d := v - mean[j]
+				std[j] += d * d
+			}
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+		if std[j] < 1e-6 {
+			std[j] = 1
+		}
+	}
+	m.featMean, m.featStd = mean, std
+	for _, p := range ps {
+		m.standardize(p.featRows)
+	}
+}
+
+// unionPrepared merges prepared tables into one batch.
+func unionPrepared(ps []*prepared) *prepared {
+	graphs := make([]*graph.Graph, len(ps))
+	lms := make([]*tensor.Matrix, len(ps))
+	feats := make([]*tensor.Matrix, len(ps))
+	out := &prepared{}
+	offset := 0
+	for i, p := range ps {
+		graphs[i] = p.g
+		lms[i] = p.lmStates
+		feats[i] = p.featRows
+		for _, idx := range p.ncfIdx {
+			out.ncfIdx = append(out.ncfIdx, idx+offset)
+		}
+		offset += p.g.NumNodes()
+	}
+	out.g = graph.Union(graphs...)
+	out.lmStates = tensor.ConcatRows(lms...)
+	out.featRows = tensor.ConcatRows(feats...)
+	return out
+}
+
+// forward runs the model over a prepared batch, returning target logits and
+// the target node list.
+func (m *Model) forward(tape *autodiff.Tape, grads *nn.GradSet, p *prepared, rng *rand.Rand, training bool) (*autodiff.Var, []int) {
+	// Initial states: frozen-LM rows plus subnetwork output scattered into
+	// the V_ncf rows.
+	base := tape.Constant(p.lmStates)
+	h := base
+	if p.featRows.Rows > 0 {
+		sw := grads.Track("subnet.w", tape.Param(m.subnet.W))
+		sb := grads.Track("subnet.b", tape.Param(m.subnet.B))
+		sub := tape.AddRow(tape.MatMul(tape.Constant(p.featRows), sw), sb)
+		h = tape.Add(base, tape.ScatterAddRows(sub, p.ncfIdx, p.g.NumNodes()))
+	}
+
+	h = m.stack.Apply(tape, grads, h, p.g, true)
+	h = tape.Dropout(h, m.cfg.Dropout, rng, training)
+
+	targets := p.g.TargetNodes()
+	ht := tape.GatherRows(h, targets)
+	cw := grads.Track("classifier.w", tape.Param(m.classifier.W))
+	cb := grads.Track("classifier.b", tape.Param(m.classifier.B))
+	logits := tape.AddRow(tape.MatMul(ht, cw), cb)
+	return logits, targets
+}
+
+// Train fits Pythagoras on the corpus using the given table index splits.
+func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("core: empty training split")
+	}
+	m := newModel(cfg, c.Types)
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	logf("pythagoras: preparing %d train / %d val tables", len(trainIdx), len(valIdx))
+	trainPrep := make([]*prepared, len(trainIdx))
+	for i, ti := range trainIdx {
+		trainPrep[i] = m.prepare(c.Tables[ti])
+	}
+	m.fitFeatureScaling(trainPrep)
+	m.fitStateScaling(trainPrep)
+	valPrep := make([]*prepared, len(valIdx))
+	for i, vi := range valIdx {
+		valPrep[i] = m.prepare(c.Tables[vi])
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LearningRate)
+	stopper := nn.NewEarlyStopper(cfg.Patience)
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	totalSteps := cfg.Epochs * ((len(trainPrep) + batch - 1) / batch)
+	step := 0
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(trainPrep), func(i, j int) { trainPrep[i], trainPrep[j] = trainPrep[j], trainPrep[i] })
+		var epochLoss float64
+		var steps int
+		for at := 0; at < len(trainPrep); at += batch {
+			end := at + batch
+			if end > len(trainPrep) {
+				end = len(trainPrep)
+			}
+			p := unionPrepared(trainPrep[at:end])
+			tape := autodiff.NewTape()
+			grads := nn.NewGradSet()
+			logits, targets := m.forward(tape, grads, p, rng, true)
+			labels := make([]int, len(targets))
+			for i, n := range targets {
+				labels[i] = p.g.Labels[n]
+			}
+			loss := tape.SoftmaxCrossEntropy(logits, labels, nil)
+			tape.Backward(loss)
+			grads.ClipByGlobalNorm(5)
+			opt.SetLR(nn.LinearDecay(cfg.LearningRate, step, totalSteps))
+			opt.Step(m.params, grads)
+			step++
+			epochLoss += loss.Value.Data[0]
+			steps++
+		}
+
+		if len(valPrep) > 0 {
+			valF1 := m.scorePrepared(valPrep).Overall.WeightedF1
+			logf("pythagoras: epoch %d loss=%.4f val-wF1=%.4f", epoch, epochLoss/float64(steps), valF1)
+			if stopper.Observe(epoch, valF1, m.params) {
+				best, bestEpoch := stopper.Best()
+				logf("pythagoras: early stop at epoch %d (best %.4f @ %d)", epoch, best, bestEpoch)
+				break
+			}
+		} else {
+			logf("pythagoras: epoch %d loss=%.4f", epoch, epochLoss/float64(steps))
+		}
+	}
+	if len(valPrep) > 0 {
+		stopper.RestoreBest(m.params)
+	}
+	return m, nil
+}
+
+// scorePrepared evaluates prepared tables (no dropout, no grads).
+func (m *Model) scorePrepared(ps []*prepared) *eval.Split {
+	var preds []eval.Prediction
+	for _, p := range ps {
+		tape := autodiff.NewTape()
+		logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
+		for i, n := range targets {
+			if p.g.Labels[n] < 0 {
+				continue
+			}
+			preds = append(preds, eval.Prediction{
+				True:    p.g.Labels[n],
+				Pred:    logits.Value.ArgMaxRow(i),
+				Numeric: p.g.Meta[n].Kind == table.KindNumeric,
+			})
+		}
+	}
+	return eval.ComputeSplit(preds)
+}
+
+// Evaluate scores the model on the given tables of a corpus, returning the
+// paper's per-kind metrics and the raw predictions.
+func (m *Model) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Prediction) {
+	var preds []eval.Prediction
+	for _, ti := range idx {
+		p := m.prepare(c.Tables[ti])
+		tape := autodiff.NewTape()
+		logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
+		for i, n := range targets {
+			if p.g.Labels[n] < 0 {
+				continue
+			}
+			preds = append(preds, eval.Prediction{
+				True:    p.g.Labels[n],
+				Pred:    logits.Value.ArgMaxRow(i),
+				Numeric: p.g.Meta[n].Kind == table.KindNumeric,
+			})
+		}
+	}
+	return eval.ComputeSplit(preds), preds
+}
+
+// ColumnPrediction is the user-facing prediction for one column.
+type ColumnPrediction struct {
+	ColIndex   int
+	Header     string
+	Kind       table.Kind
+	Type       string
+	Confidence float64
+}
+
+// PredictTable predicts the semantic type of every column of an unlabeled
+// table.
+func (m *Model) PredictTable(t *table.Table) []ColumnPrediction {
+	// Build against an empty gold-label requirement: Validate of Table
+	// requires types, but prediction must not; fill placeholders.
+	work := &table.Table{Name: t.Name, ID: t.ID}
+	for _, c := range t.Columns {
+		cc := *c
+		if cc.SemanticType == "" {
+			cc.SemanticType = "?"
+		}
+		work.Columns = append(work.Columns, &cc)
+	}
+	p := m.prepare(work)
+	tape := autodiff.NewTape()
+	logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
+	if t := m.Temperature(); t != 1 {
+		logits = tape.Scale(logits, 1/t)
+	}
+	probs := tape.Softmax(logits)
+
+	var out []ColumnPrediction
+	for i, n := range targets {
+		ci := p.g.Meta[n].ColIndex
+		cls := probs.Value.ArgMaxRow(i)
+		out = append(out, ColumnPrediction{
+			ColIndex:   ci,
+			Header:     t.Columns[ci].Header,
+			Kind:       t.Columns[ci].Kind,
+			Type:       m.types[cls],
+			Confidence: probs.Value.At(i, cls),
+		})
+	}
+	return out
+}
+
+// --- persistence ---
+
+type savedMeta struct {
+	Types             []string
+	Hidden            int
+	HiddenDim         int
+	GNNLayers         int
+	PlainLMStates     bool
+	Graph             graph.BuildOptions
+	FeatMean, FeatStd []float64
+	LMMean, LMStd     []float64
+	Temperature       float64
+}
+
+// Save writes the trained parameters and vocabulary to w. The frozen
+// encoder is not serialized — it is fully determined by its Config and is
+// re-supplied at Load time.
+func (m *Model) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	meta := savedMeta{
+		Types: m.types, Hidden: m.enc.Dim(), HiddenDim: m.cfg.HiddenDim,
+		GNNLayers: m.cfg.GNNLayers, PlainLMStates: m.cfg.PlainLMStates,
+		Graph: m.cfg.Graph, FeatMean: m.featMean, FeatStd: m.featStd,
+		LMMean: m.lmMean, LMStd: m.lmStd,
+		Temperature: m.temperature,
+	}
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("core: encode meta: %w", err)
+	}
+	return m.params.EncodeGob(enc)
+}
+
+// SaveFile saves the model to a file path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// Load reads a model saved by Save. cfg supplies the encoder (whose Dim
+// must match the saved hidden width) and runtime options.
+func Load(r io.Reader, cfg Config) (*Model, error) {
+	dec := gob.NewDecoder(r)
+	var meta savedMeta
+	if err := dec.Decode(&meta); err != nil {
+		return nil, fmt.Errorf("core: decode meta: %w", err)
+	}
+	if cfg.Encoder == nil {
+		return nil, fmt.Errorf("core: Load requires Config.Encoder")
+	}
+	if cfg.Encoder.Dim() != meta.Hidden {
+		return nil, fmt.Errorf("core: encoder dim %d != saved hidden %d", cfg.Encoder.Dim(), meta.Hidden)
+	}
+	cfg.GNNLayers = meta.GNNLayers
+	cfg.HiddenDim = meta.HiddenDim
+	cfg.PlainLMStates = meta.PlainLMStates
+	cfg.Graph = meta.Graph
+	m := newModel(cfg, meta.Types)
+	m.featMean, m.featStd = meta.FeatMean, meta.FeatStd
+	m.lmMean, m.lmStd = meta.LMMean, meta.LMStd
+	m.temperature = meta.Temperature
+	if err := m.params.DecodeGob(dec); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadFile loads a model from a file path.
+func LoadFile(path string, cfg Config) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, cfg)
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/data"
+	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/graph"
+	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// tinyEncoder keeps core tests fast.
+func tinyEncoder() *lm.Encoder {
+	return lm.NewEncoder(lm.Config{Dim: 32, Layers: 1, Heads: 2, FFNDim: 64, MaxLen: 64, Buckets: 1 << 12, Seed: 7})
+}
+
+// tinyCorpus builds a small SportsTables-style corpus.
+func tinyCorpus(n int) *data.Corpus {
+	return data.GenerateSportsTables(data.SportsConfig{
+		NumTables: n, Seed: 11, MinRows: 6, MaxRows: 10, WeakNameProb: 0.1, Domains: 3,
+	})
+}
+
+func tinyConfig(enc *lm.Encoder) Config {
+	cfg := DefaultConfig(enc)
+	cfg.Epochs = 30
+	cfg.Patience = 30
+	cfg.BatchSize = 8
+	cfg.LearningRate = 1e-2
+	return cfg
+}
+
+func TestTrainImprovesOverChance(t *testing.T) {
+	c := tinyCorpus(44)
+	enc := tinyEncoder()
+	rng := rand.New(rand.NewSource(1))
+	train, val, test := eval.TrainValTestSplit(len(c.Tables), rng)
+	m, err := Train(c, train, val, tinyConfig(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, preds := m.Evaluate(c, test)
+	if len(preds) == 0 {
+		t.Fatal("no predictions")
+	}
+	// Chance over 462 classes ≈ 0.002; anything materially learned clears
+	// 0.15 even at this tiny scale.
+	if split.Overall.WeightedF1 < 0.15 {
+		t.Fatalf("model did not learn: weighted F1 = %.3f", split.Overall.WeightedF1)
+	}
+	// Non-numeric columns should be easier than numeric ones.
+	if split.NonNumeric.WeightedF1 < split.Numeric.WeightedF1 {
+		t.Logf("note: non-numeric (%.3f) < numeric (%.3f) at tiny scale",
+			split.NonNumeric.WeightedF1, split.Numeric.WeightedF1)
+	}
+}
+
+func TestTrainEmptySplitErrors(t *testing.T) {
+	c := tinyCorpus(5)
+	if _, err := Train(c, nil, nil, tinyConfig(tinyEncoder())); err == nil {
+		t.Fatal("empty training split must error")
+	}
+}
+
+func TestContextAblationDegradesNumericF1(t *testing.T) {
+	// The heart of Table 4: removing V_tn + V_nn context must hurt numeric
+	// predictions. We compare full vs fully-context-free on the same split
+	// with the same budget.
+	if testing.Short() {
+		t.Skip("training comparison skipped in -short")
+	}
+	c := tinyCorpus(60)
+	enc := tinyEncoder()
+	rng := rand.New(rand.NewSource(2))
+	train, val, test := eval.TrainValTestSplit(len(c.Tables), rng)
+
+	full := tinyConfig(enc)
+	mFull, err := Train(c, train, val, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFull, _ := mFull.Evaluate(c, test)
+
+	ablated := tinyConfig(enc)
+	ablated.Graph = graph.BuildOptions{DropTableName: true, DropTextColumns: true}
+	mAbl, err := Train(c, train, val, ablated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAbl, _ := mAbl.Evaluate(c, test)
+
+	if sFull.Numeric.WeightedF1 <= sAbl.Numeric.WeightedF1 {
+		t.Fatalf("context removal did not hurt: full=%.3f ablated=%.3f",
+			sFull.Numeric.WeightedF1, sAbl.Numeric.WeightedF1)
+	}
+}
+
+func TestPredictTableOutputs(t *testing.T) {
+	c := tinyCorpus(33)
+	enc := tinyEncoder()
+	rng := rand.New(rand.NewSource(3))
+	train, val, _ := eval.TrainValTestSplit(len(c.Tables), rng)
+	cfg := tinyConfig(enc)
+	cfg.Epochs = 4
+	m, err := Train(c, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tb := c.Tables[0]
+	preds := m.PredictTable(tb)
+	targetCount := len(tb.Columns)
+	if len(preds) != targetCount {
+		t.Fatalf("predictions = %d, want %d", len(preds), targetCount)
+	}
+	seen := map[int]bool{}
+	for _, p := range preds {
+		if p.Type == "" {
+			t.Fatal("empty predicted type")
+		}
+		if p.Confidence <= 0 || p.Confidence > 1 {
+			t.Fatalf("confidence = %v", p.Confidence)
+		}
+		if seen[p.ColIndex] {
+			t.Fatalf("column %d predicted twice", p.ColIndex)
+		}
+		seen[p.ColIndex] = true
+		if p.Header != tb.Columns[p.ColIndex].Header {
+			t.Fatal("header/colindex mismatch")
+		}
+	}
+}
+
+func TestPredictTableUnlabeledColumns(t *testing.T) {
+	// Prediction must work on tables with no gold labels at all.
+	c := tinyCorpus(22)
+	enc := tinyEncoder()
+	cfg := tinyConfig(enc)
+	cfg.Epochs = 2
+	m, err := Train(c, []int{0, 1, 2, 3}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &table.Table{Name: "Unknown Stats", ID: "u", Columns: []*table.Column{
+		{Header: "Who", Kind: table.KindText, TextValues: []string{"Lebron James", "Myles Turner"}},
+		{Header: "X", Kind: table.KindNumeric, NumValues: []float64{7.5, 2.1}},
+	}}
+	preds := m.PredictTable(tb)
+	if len(preds) != 2 {
+		t.Fatalf("predictions = %d", len(preds))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := tinyCorpus(22)
+	enc := tinyEncoder()
+	cfg := tinyConfig(enc)
+	cfg.Epochs = 3
+	rng := rand.New(rand.NewSource(4))
+	train, val, test := eval.TrainValTestSplit(len(c.Tables), rng)
+	m, err := Train(c, train, val, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf, Config{Encoder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, p1 := m.Evaluate(c, test)
+	s2, p2 := m2.Evaluate(c, test)
+	if len(p1) != len(p2) {
+		t.Fatal("prediction counts differ after load")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+	if s1.Overall.WeightedF1 != s2.Overall.WeightedF1 {
+		t.Fatal("scores differ after load")
+	}
+}
+
+func TestLoadRejectsWrongEncoder(t *testing.T) {
+	c := tinyCorpus(11)
+	enc := tinyEncoder()
+	cfg := tinyConfig(enc)
+	cfg.Epochs = 1
+	m, err := Train(c, []int{0, 1}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong := lm.NewEncoder(lm.Config{Dim: 16, Layers: 1, Heads: 2, MaxLen: 32, Buckets: 256, Seed: 1})
+	if _, err := Load(&buf, Config{Encoder: wrong}); err == nil {
+		t.Fatal("dim mismatch not rejected")
+	}
+	if _, err := Load(bytes.NewReader(nil), Config{Encoder: enc}); err == nil {
+		t.Fatal("empty reader not rejected")
+	}
+}
+
+func TestTrainDeterministicPerSeed(t *testing.T) {
+	c := tinyCorpus(16)
+	enc := tinyEncoder()
+	cfg := tinyConfig(enc)
+	cfg.Epochs = 3
+	run := func() []eval.Prediction {
+		m, err := Train(c, []int{0, 1, 2, 3, 4, 5}, []int{6, 7}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, preds := m.Evaluate(c, []int{8, 9})
+		return preds
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce identical training")
+		}
+	}
+}
+
+func TestEvaluateSkipsUnknownTypes(t *testing.T) {
+	c := tinyCorpus(12)
+	enc := tinyEncoder()
+	cfg := tinyConfig(enc)
+	cfg.Epochs = 1
+	m, err := Train(c, []int{0, 1, 2}, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject a table whose types are outside the vocabulary.
+	alien := &table.Table{Name: "Alien", ID: "alien", Columns: []*table.Column{
+		{Header: "h", SemanticType: "totally.unknown.type", Kind: table.KindNumeric, NumValues: []float64{1, 2}},
+	}}
+	c.Tables = append(c.Tables, alien)
+	_, preds := m.Evaluate(c, []int{len(c.Tables) - 1})
+	if len(preds) != 0 {
+		t.Fatal("unknown-type columns must be excluded from scoring")
+	}
+}

@@ -1,0 +1,37 @@
+package data_test
+
+import (
+	"fmt"
+
+	"github.com/sematype/pythagoras/internal/data"
+)
+
+// ExampleGenerateSportsTables builds a small SportsTables-style corpus and
+// prints its Table 1-style statistics.
+func ExampleGenerateSportsTables() {
+	c := data.GenerateSportsTables(data.SportsConfig{
+		NumTables: 22, Seed: 17, MinRows: 8, MaxRows: 12, WeakNameProb: 0.1,
+	})
+	s := c.ComputeStats()
+	fmt.Println("tables:", s.NumTables)
+	fmt.Println("types present:", s.NumTypes > 100)
+	fmt.Println("numeric-dominated:", s.AvgNumCols > 4*s.AvgTextCols)
+	// Output:
+	// tables: 22
+	// types present: true
+	// numeric-dominated: true
+}
+
+// ExampleSynthesizeHeaders reproduces the paper's abbreviation lists for
+// the Table 4 header experiment.
+func ExampleSynthesizeHeaders() {
+	cands := data.SynthesizeHeaders("Player Age", 4)
+	for _, c := range cands {
+		fmt.Println(c)
+	}
+	// Output:
+	// PA
+	// PlAg
+	// PlaAge
+	// PlayAge
+}

@@ -1,0 +1,349 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// GitConfig controls generation of the synthetic GitTables Numeric corpus.
+type GitConfig struct {
+	// NumTables is the corpus size; the paper's derived corpus has 6,577.
+	NumTables int
+	Seed      int64
+	MinRows   int
+	MaxRows   int
+	// NameHintProb is the probability that the table's filename-style name
+	// contains tokens of its column concepts — GitTables names are only
+	// sometimes informative.
+	NameHintProb float64
+	// MinSupport drops types occurring fewer times (paper: 10).
+	MinSupport int
+}
+
+// DefaultGitConfig mirrors the paper's corpus scale (Table 1).
+func DefaultGitConfig() GitConfig {
+	return GitConfig{NumTables: 6577, Seed: 23, MinRows: 10, MaxRows: 40, NameHintProb: 0.55, MinSupport: 10}
+}
+
+// ReducedGitConfig is the test/bench scale.
+func ReducedGitConfig() GitConfig {
+	return GitConfig{NumTables: 260, Seed: 23, MinRows: 8, MaxRows: 16, NameHintProb: 0.55, MinSupport: 3}
+}
+
+// distSequential marks ID-like columns: strictly increasing integers with
+// random start/stride (their sortedness is what identifies them).
+const distSequential distKind = 100
+
+// gitNumericBases defines the 60 base numeric concepts of the DBpedia-
+// flavoured type space; each expands to 3 variants → 180 numeric types.
+func gitNumericBases() []StatSpec {
+	return []StatSpec{
+		{Concept: "id", Header: "Id", Kind: distSequential},
+		cnt("year", "Year", 1950, 2023),
+		cnt("month", "Month", 1, 12),
+		cnt("day", "Day", 1, 31),
+		cnt("hour", "Hour", 0, 23),
+		cnt("age", "Age", 1, 95),
+		money("price", "Price", 3.5, 1.2),
+		money("cost", "Cost", 4.2, 1.1),
+		pct("discount_pct", "Discount Pct", 0, 60),
+		money("tax", "Tax", 2.2, 1),
+		frac01("rating", "Rating", 0, 5),
+		rate("score", "Score", 62, 20),
+		cnt("rank", "Rank", 1, 500),
+		cnt("count", "Count", 0, 5000),
+		cnt("quantity", "Quantity", 1, 900),
+		money("total", "Total", 5.1, 1.4),
+		cnt("views", "Views", 0, 2000000),
+		cnt("likes", "Likes", 0, 90000),
+		cnt("downloads", "Downloads", 0, 500000),
+		cnt("followers", "Followers", 0, 300000),
+		cnt("stars", "Stars", 0, 80000),
+		cnt("forks", "Forks", 0, 20000),
+		cnt("commits", "Commits", 1, 30000),
+		cnt("issues", "Issues", 0, 4000),
+		cnt("size_bytes", "Size Bytes", 100, 100000000),
+		rate("memory_mb", "Memory Mb", 2048, 1200),
+		pct("cpu_pct", "Cpu Pct", 0, 100),
+		rate("duration_s", "Duration S", 240, 180),
+		rate("distance_km", "Distance Km", 120, 90),
+		rate("speed_kmh", "Speed Kmh", 70, 30),
+		frac01("latitude", "Latitude", -90, 90),
+		frac01("longitude", "Longitude", -180, 180),
+		rate("elevation_m", "Elevation M", 400, 350),
+		rate("area_km2", "Area Km2", 5000, 4000),
+		cnt("population", "Population", 500, 30000000),
+		money("income", "Income", 10.5, 0.6),
+		money("salary", "Salary", 10.9, 0.5),
+		money("revenue", "Revenue", 13.5, 1.3),
+		money("budget", "Budget", 12.8, 1.2),
+		rate("weight_kg", "Weight Kg", 45, 30),
+		rate("height_cm", "Height Cm", 120, 60),
+		rate("width_cm", "Width Cm", 80, 50),
+		rate("length_cm", "Length Cm", 100, 70),
+		rate("depth_cm", "Depth Cm", 40, 25),
+		rate("volume_l", "Volume L", 20, 18),
+		rateNeg("temperature_c", "Temperature C", 15, 12),
+		pct("humidity_pct", "Humidity Pct", 20, 95),
+		rate("pressure_hpa", "Pressure Hpa", 1013, 12),
+		rate("voltage", "Voltage", 120, 60),
+		rate("current_a", "Current A", 4, 3),
+		rate("power_w", "Power W", 300, 200),
+		rate("energy_kwh", "Energy Kwh", 35, 25),
+		cnt("calories", "Calories", 20, 900),
+		rate("protein_g", "Protein G", 12, 9),
+		rate("fat_g", "Fat G", 9, 7),
+		rate("carbs_g", "Carbs G", 25, 18),
+		rate("sodium_mg", "Sodium Mg", 350, 250),
+		rate("frequency_hz", "Frequency Hz", 1200, 900),
+		pct("percent", "Percent", 0, 100),
+		frac01("ratio", "Ratio", 0, 3),
+	}
+}
+
+// variantSuffixes expands each base concept into 3 related types whose
+// distributions overlap — the confusable long tail that keeps GitTables
+// macro F1 low.
+var variantSuffixes = []string{"", "_min", "_max"}
+
+// gitTextType couples a text semantic type with its value pool.
+type gitTextType struct {
+	Concept string
+	Header  string
+	Pool    []string
+}
+
+func gitTextTypes() []gitTextType {
+	countries := []string{"Germany", "France", "Japan", "Brazil", "Canada", "India", "Kenya", "Norway", "Chile", "Vietnam"}
+	cities := sharedCities
+	names := make([]string, 0, 24)
+	for i := 0; i < 24; i++ {
+		names = append(names, sharedFirstNames[i%len(sharedFirstNames)]+" "+sharedLastNames[(i*7)%len(sharedLastNames)])
+	}
+	colors := []string{"red", "blue", "green", "yellow", "black", "white", "orange", "purple", "gray", "brown"}
+	status := []string{"active", "inactive", "pending", "closed", "open", "archived", "draft", "done"}
+	langs := []string{"english", "german", "french", "spanish", "japanese", "portuguese", "hindi", "arabic"}
+	cats := []string{"electronics", "clothing", "food", "books", "toys", "sports", "garden", "music", "tools", "health"}
+	brands := []string{"Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Hooli", "Wonka", "Cyberdyne", "Tyrell"}
+	units := []string{"kg", "cm", "m", "km", "lb", "oz", "ml", "l", "pcs", "units"}
+	currencies := []string{"USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "SEK"}
+	genders := []string{"male", "female", "other"}
+	weekdays := []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+	months := []string{"January", "February", "March", "April", "May", "June", "July", "August", "September", "October", "November", "December"}
+	words := []string{"alpha", "beta", "gamma", "delta", "omega", "prime", "core", "edge", "node", "link"}
+	codes := []string{"A-100", "B-200", "C-300", "D-400", "E-500", "F-600", "G-700", "H-800"}
+
+	return []gitTextType{
+		{"name", "Name", names}, {"full_name", "Full Name", names}, {"author", "Author", names},
+		{"owner", "Owner", names}, {"creator", "Creator", names},
+		{"title", "Title", words}, {"label", "Label", words}, {"tag", "Tag", words},
+		{"description", "Description", words}, {"comment", "Comment", words}, {"note", "Note", words},
+		{"country", "Country", countries}, {"nationality", "Nationality", countries},
+		{"city", "City", cities}, {"region", "Region", cities}, {"location", "Location", cities},
+		{"address", "Address", cities},
+		{"category", "Category", cats}, {"type", "Type", cats}, {"group", "Group", cats},
+		{"department", "Department", cats}, {"genre", "Genre", cats},
+		{"status", "Status", status}, {"state", "State", status}, {"phase", "Phase", status},
+		{"color", "Color", colors}, {"colour", "Colour", colors},
+		{"language", "Language", langs}, {"locale", "Locale", langs},
+		{"brand", "Brand", brands}, {"manufacturer", "Manufacturer", brands}, {"vendor", "Vendor", brands},
+		{"unit", "Unit", units}, {"currency", "Currency", currencies},
+		{"gender", "Gender", genders}, {"weekday", "Weekday", weekdays}, {"month_name", "Month Name", months},
+		{"code", "Code", codes}, {"sku", "Sku", codes},
+	}
+}
+
+// gitType is one entry of the flattened 219-type catalog.
+type gitType struct {
+	SemanticType string
+	Header       string
+	IsNumeric    bool
+	Spec         StatSpec // numeric only
+	Pool         []string // text only
+	// Weight is the Zipf popularity used during sampling.
+	Weight float64
+}
+
+func gitCatalog() []gitType {
+	var cat []gitType
+	for bi, base := range gitNumericBases() {
+		for vi, suf := range variantSuffixes {
+			sp := base
+			sp.Concept = base.Concept + suf
+			sp.Header = base.Header + strings.ReplaceAll(titleCase(suf), "_", " ")
+			// Jitter variants so _min/_max shift but overlap heavily.
+			shift := 1 + 0.25*float64(vi)
+			sp.P1 *= shift
+			sp.P2 *= shift
+			cat = append(cat, gitType{
+				SemanticType: "dbpedia/" + sp.Concept,
+				Header:       sp.Header,
+				IsNumeric:    true,
+				Spec:         sp,
+				Weight:       1 / math.Pow(float64(bi*len(variantSuffixes)+vi+1), 0.85),
+			})
+		}
+	}
+	for ti, tt := range gitTextTypes() {
+		cat = append(cat, gitType{
+			SemanticType: "dbpedia/" + tt.Concept,
+			Header:       tt.Header,
+			Pool:         tt.Pool,
+			Weight:       1 / math.Pow(float64(ti+2), 0.85),
+		})
+	}
+	return cat
+}
+
+// GitTypeCatalog returns all semantic types the generator can produce (219,
+// matching Table 1).
+func GitTypeCatalog() []string {
+	cat := gitCatalog()
+	out := make([]string, len(cat))
+	for i, t := range cat {
+		out[i] = t.SemanticType
+	}
+	return out
+}
+
+// GenerateGitTables builds the synthetic GitTables Numeric corpus: tables
+// with ≥80 % numerical columns, Zipf-distributed type frequencies, and
+// filename-style (only sometimes informative) table names.
+func GenerateGitTables(cfg GitConfig) *Corpus {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := gitCatalog()
+	var numIdx, textIdx []int
+	for i, t := range cat {
+		if t.IsNumeric {
+			numIdx = append(numIdx, i)
+		} else {
+			textIdx = append(textIdx, i)
+		}
+	}
+
+	c := &Corpus{Name: "GitTables Numeric"}
+	for i := 0; i < cfg.NumTables; i++ {
+		c.Tables = append(c.Tables, generateGitTable(rng, cat, numIdx, textIdx, i, cfg))
+	}
+	c.BuildVocabulary()
+	if cfg.MinSupport > 1 {
+		c.FilterMinSupport(cfg.MinSupport)
+	}
+	return c
+}
+
+// sampleWeighted draws k distinct indices from idx proportional to catalog
+// weights.
+func sampleWeighted(rng *rand.Rand, cat []gitType, idx []int, k int) []int {
+	if k >= len(idx) {
+		out := append([]int(nil), idx...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out[:min(k, len(out))]
+	}
+	chosen := map[int]struct{}{}
+	var out []int
+	var total float64
+	for _, i := range idx {
+		total += cat[i].Weight
+	}
+	for len(out) < k {
+		r := rng.Float64() * total
+		for _, i := range idx {
+			r -= cat[i].Weight
+			if r <= 0 {
+				if _, dup := chosen[i]; !dup {
+					chosen[i] = struct{}{}
+					out = append(out, i)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func generateGitTable(rng *rand.Rand, cat []gitType, numIdx, textIdx []int, idx int, cfg GitConfig) *table.Table {
+	rows := cfg.MinRows + rng.Intn(cfg.MaxRows-cfg.MinRows+1)
+	// Column counts respecting the ≥80 % numeric filter: text count is
+	// small and numeric count at least 4× larger, centering on the paper's
+	// 2.08 text / 8.95 numeric per table.
+	nText := []int{0, 1, 2, 2, 2, 3, 3, 4}[rng.Intn(8)]
+	nNum := 4*nText + 1 + rng.Intn(4)
+	if nText == 0 {
+		nNum = 6 + rng.Intn(8)
+	}
+
+	t := &table.Table{ID: fmt.Sprintf("git_%05d", idx)}
+	textTypes := sampleWeighted(rng, cat, textIdx, nText)
+	numTypes := sampleWeighted(rng, cat, numIdx, nNum)
+
+	// Filename-style table name; sometimes hints at the content.
+	generic := []string{"data", "export", "final", "log", "results", "table", "list", "report", "dump", "records"}
+	var tokens []string
+	if rng.Float64() < cfg.NameHintProb {
+		// leak 1–2 concept tokens into the name
+		hints := append(append([]int{}, numTypes...), textTypes...)
+		rng.Shuffle(len(hints), func(i, j int) { hints[i], hints[j] = hints[j], hints[i] })
+		for _, h := range hints[:min(1+rng.Intn(2), len(hints))] {
+			concept := strings.TrimPrefix(cat[h].SemanticType, "dbpedia/")
+			tokens = append(tokens, concept)
+		}
+	}
+	tokens = append(tokens, generic[rng.Intn(len(generic))])
+	if rng.Float64() < 0.4 {
+		tokens = append(tokens, fmt.Sprintf("%d", 2010+rng.Intn(14)))
+	}
+	t.Name = strings.Join(tokens, "_")
+
+	for _, ti := range textTypes {
+		tt := cat[ti]
+		vals := make([]string, rows)
+		for r := range vals {
+			vals[r] = tt.Pool[rng.Intn(len(tt.Pool))]
+		}
+		t.Columns = append(t.Columns, &table.Column{
+			Header:          tt.Header,
+			SyntheticHeader: PickSyntheticHeader(tt.Header, rng),
+			SemanticType:    tt.SemanticType,
+			Kind:            table.KindText,
+			TextValues:      vals,
+		})
+	}
+	for _, ni := range numTypes {
+		nt := cat[ni]
+		vals := make([]float64, rows)
+		if nt.Spec.Kind == distSequential {
+			start := rng.Intn(10000)
+			stride := 1 + rng.Intn(3)
+			for r := range vals {
+				vals[r] = float64(start + r*stride)
+			}
+		} else {
+			for r := range vals {
+				vals[r] = nt.Spec.sample(rng)
+			}
+		}
+		t.Columns = append(t.Columns, &table.Column{
+			Header:          nt.Header,
+			SyntheticHeader: PickSyntheticHeader(nt.Header, rng),
+			SemanticType:    nt.SemanticType,
+			Kind:            table.KindNumeric,
+			NumValues:       vals,
+		})
+	}
+	// GitTables column order is arbitrary; shuffle so models cannot rely on
+	// position.
+	rng.Shuffle(len(t.Columns), func(i, j int) { t.Columns[i], t.Columns[j] = t.Columns[j], t.Columns[i] })
+	return t
+}

@@ -1,0 +1,156 @@
+package data
+
+import (
+	"math/rand"
+	"strings"
+	"unicode"
+)
+
+// SynthesizeHeaders generates up to n plausible abbreviations for a
+// human-readable header, reproducing the paper's GPT-generated abbreviation
+// lists for the Table 4 "w/ synthesized c_h" experiment (e.g. "Player Age"
+// → PA, PlAge, PAG, PlrAge, …). The output is deterministic for a given
+// header.
+func SynthesizeHeaders(header string, n int) []string {
+	words := splitHeaderWords(header)
+	if len(words) == 0 {
+		return nil
+	}
+	seen := map[string]struct{}{}
+	var out []string
+	push := func(s string) {
+		if s == "" {
+			return
+		}
+		if _, dup := seen[s]; dup {
+			return
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+
+	// 1. Initialism: "Player Age" → "PA"
+	var ini strings.Builder
+	for _, w := range words {
+		ini.WriteByte(w[0])
+	}
+	push(strings.ToUpper(ini.String()))
+
+	// 2–4. Prefix truncations of each word at lengths 2, 3, 4:
+	// "PlAg", "PlaAge", ...
+	for _, k := range []int{2, 3, 4} {
+		var b strings.Builder
+		for _, w := range words {
+			b.WriteString(titleCase(prefix(w, k)))
+		}
+		push(b.String())
+	}
+
+	// 5. First word truncated + initial of the rest: "PlaA"
+	if len(words) > 1 {
+		var b strings.Builder
+		b.WriteString(titleCase(prefix(words[0], 3)))
+		for _, w := range words[1:] {
+			b.WriteByte(byte(unicode.ToUpper(rune(w[0]))))
+		}
+		push(b.String())
+	}
+
+	// 6. Vowel-dropped words: "Plyr Ag" style, joined.
+	{
+		var b strings.Builder
+		for _, w := range words {
+			b.WriteString(titleCase(dropVowels(w)))
+		}
+		push(b.String())
+	}
+
+	// 7. Initial of first + last word full: "PAge"
+	if len(words) > 1 {
+		push(strings.ToUpper(words[0][:1]) + titleCase(words[len(words)-1]))
+	}
+
+	// 8. First word full + initials: "PlayerA"
+	if len(words) > 1 {
+		var b strings.Builder
+		b.WriteString(titleCase(words[0]))
+		for _, w := range words[1:] {
+			b.WriteByte(byte(unicode.ToUpper(rune(w[0]))))
+		}
+		push(b.String())
+	}
+
+	// 9. Underscored truncation: "ply_age"
+	{
+		parts := make([]string, len(words))
+		for i, w := range words {
+			parts[i] = dropVowels(prefix(w, 4))
+		}
+		push(strings.ToLower(strings.Join(parts, "_")))
+	}
+
+	// 10. Compact vowel-dropped prefix of whole phrase: "PlygAge" fallback
+	{
+		joined := strings.Join(words, "")
+		push(titleCase(prefix(dropVowels(joined), 6)))
+	}
+
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// PickSyntheticHeader selects one abbreviation for a header using rng,
+// mirroring the paper's random choice among the 10 GPT candidates.
+func PickSyntheticHeader(header string, rng *rand.Rand) string {
+	cands := SynthesizeHeaders(header, 10)
+	if len(cands) == 0 {
+		return header
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+func splitHeaderWords(h string) []string {
+	h = strings.NewReplacer("_", " ", "-", " ", ".", " ").Replace(h)
+	var words []string
+	for _, f := range strings.Fields(h) {
+		f = strings.ToLower(strings.TrimFunc(f, func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+		}))
+		if f != "" {
+			words = append(words, f)
+		}
+	}
+	return words
+}
+
+func prefix(s string, k int) string {
+	if len(s) <= k {
+		return s
+	}
+	return s[:k]
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func dropVowels(s string) string {
+	if s == "" {
+		return s
+	}
+	var b strings.Builder
+	b.WriteByte(s[0]) // keep the first letter even if a vowel
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case 'a', 'e', 'i', 'o', 'u':
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

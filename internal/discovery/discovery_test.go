@@ -1,0 +1,179 @@
+package discovery
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+func labeledTable(id string, types ...string) *table.Table {
+	t := &table.Table{Name: "tbl " + id, ID: id}
+	for _, st := range types {
+		t.Columns = append(t.Columns, &table.Column{
+			Header: "h_" + st, SemanticType: st, Kind: table.KindNumeric,
+			NumValues: []float64{1, 2},
+		})
+	}
+	return t
+}
+
+func TestAddLabeledAndStats(t *testing.T) {
+	ix := NewTypeIndex(0)
+	n := ix.AddLabeled(labeledTable("a", "price", "rating"))
+	if n != 2 {
+		t.Fatalf("indexed %d columns", n)
+	}
+	ix.AddLabeled(labeledTable("b", "price", "year"))
+	s := ix.Stats()
+	if s.Tables != 2 || s.Columns != 4 || s.Types != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestColumnsSortedByConfidence(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("a", "price"))
+	ix.AddLabeled(labeledTable("b", "price"))
+	cols := ix.Columns("price")
+	if len(cols) != 2 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	if cols[0].TableID != "a" { // equal confidence → id order
+		t.Fatalf("tie-break order wrong: %v", cols)
+	}
+	if ix.Columns("ghost") != nil && len(ix.Columns("ghost")) != 0 {
+		t.Fatal("unknown type must return empty")
+	}
+}
+
+func TestTablesWithAllConjunction(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("a", "price", "rating"))
+	ix.AddLabeled(labeledTable("b", "price"))
+	ix.AddLabeled(labeledTable("c", "price", "rating", "year"))
+
+	got := ix.TablesWithAll("price", "rating")
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("TablesWithAll = %v", got)
+	}
+	if got := ix.TablesWithAll(); got != nil {
+		t.Fatal("empty query must return nil")
+	}
+	if got := ix.TablesWithAll("ghost"); len(got) != 0 {
+		t.Fatal("unknown type must match nothing")
+	}
+}
+
+func TestTablesWithAllNoDoubleCountDuplicateColumns(t *testing.T) {
+	// A table with two 'price' columns must still count once.
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("a", "price", "price"))
+	got := ix.TablesWithAll("price", "rating")
+	if len(got) != 0 {
+		t.Fatalf("duplicate columns double-counted: %v", got)
+	}
+}
+
+func TestRemoveAndReadd(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("a", "price"))
+	ix.Remove("a")
+	if s := ix.Stats(); s.Tables != 0 || s.Types != 0 {
+		t.Fatalf("stats after remove = %+v", s)
+	}
+	// re-adding a table replaces, not duplicates
+	ix.AddLabeled(labeledTable("b", "price", "year"))
+	ix.AddLabeled(labeledTable("b", "price"))
+	if s := ix.Stats(); s.Tables != 1 || s.Columns != 1 {
+		t.Fatalf("re-add duplicated: %+v", s)
+	}
+}
+
+func TestJoinCandidates(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("a", "customer_id"))
+	ix.AddLabeled(labeledTable("b", "customer_id"))
+	ix.AddLabeled(labeledTable("c", "customer_id"))
+	pairs := ix.JoinCandidates("customer_id", 0)
+	if len(pairs) != 3 { // C(3,2)
+		t.Fatalf("join pairs = %d, want 3", len(pairs))
+	}
+	capped := ix.JoinCandidates("customer_id", 2)
+	if len(capped) != 2 {
+		t.Fatalf("limit ignored: %d", len(capped))
+	}
+	for _, p := range pairs {
+		if p.LeftID == p.RightID {
+			t.Fatal("self-join candidate")
+		}
+	}
+}
+
+func TestUnionCandidatesRanking(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("q", "price", "rating", "year"))
+	ix.AddLabeled(labeledTable("full", "price", "rating", "year"))
+	ix.AddLabeled(labeledTable("half", "price", "other"))
+	ix.AddLabeled(labeledTable("none", "other"))
+
+	cands, err := ix.UnionCandidates("q", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	if cands[0].TableID != "full" || cands[0].Overlap != 1 {
+		t.Fatalf("best candidate = %+v", cands[0])
+	}
+	if cands[1].TableID != "half" || cands[1].Shared != 1 {
+		t.Fatalf("second candidate = %+v", cands[1])
+	}
+
+	top1, err := ix.UnionCandidates("q", 1)
+	if err != nil || len(top1) != 1 {
+		t.Fatal("topK ignored")
+	}
+	if _, err := ix.UnionCandidates("ghost", 0); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestMinConfidenceFilter(t *testing.T) {
+	ix := NewTypeIndex(0.5)
+	// AddLabeled uses confidence 1 → kept
+	ix.AddLabeled(labeledTable("a", "price"))
+	if ix.Stats().Columns != 1 {
+		t.Fatal("labeled column should pass the confidence filter")
+	}
+}
+
+func TestTypesSorted(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("a", "zebra", "apple", "mango"))
+	got := ix.Types()
+	if len(got) != 3 || got[0] != "apple" || got[2] != "zebra" {
+		t.Fatalf("Types = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	ix := NewTypeIndex(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := string(rune('a' + i))
+			ix.AddLabeled(labeledTable(id, "price", "rating"))
+			ix.Columns("price")
+			ix.TablesWithAll("price", "rating")
+			ix.Stats()
+		}(i)
+	}
+	wg.Wait()
+	if s := ix.Stats(); s.Tables != 8 {
+		t.Fatalf("tables after concurrent adds = %d", s.Tables)
+	}
+}

@@ -1,0 +1,303 @@
+// Package eval provides the evaluation machinery of the paper's §4:
+// support-weighted and macro-averaged F1 scores, table-level train/
+// validation/test splits, multi-seed aggregation, and the per-type model
+// comparison behind Figure 4.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Prediction pairs a gold label with a predicted label for one column.
+type Prediction struct {
+	// True and Pred are semantic-type class indices.
+	True, Pred int
+	// Numeric records whether the column was numerical — scores are
+	// reported separately for numerical and non-numerical columns.
+	Numeric bool
+}
+
+// ClassScore holds per-class counts and derived metrics.
+type ClassScore struct {
+	Class             int
+	TP, FP, FN        int
+	Precision, Recall float64
+	F1                float64
+	Support           int // number of true instances
+}
+
+// Scores aggregates the metrics the paper reports.
+type Scores struct {
+	WeightedF1 float64
+	MacroF1    float64
+	Accuracy   float64
+	N          int
+	PerClass   map[int]*ClassScore
+}
+
+// Compute scores a set of predictions. Classes never appearing as a true
+// label contribute to precision (as FP) but are excluded from macro
+// averaging, matching scikit-learn's behaviour on the label set present in
+// the test data (as used by the paper's baselines).
+func Compute(preds []Prediction) *Scores {
+	per := make(map[int]*ClassScore)
+	get := func(c int) *ClassScore {
+		cs, ok := per[c]
+		if !ok {
+			cs = &ClassScore{Class: c}
+			per[c] = cs
+		}
+		return cs
+	}
+	correct := 0
+	for _, p := range preds {
+		if p.True == p.Pred {
+			get(p.True).TP++
+			correct++
+		} else {
+			get(p.True).FN++
+			get(p.Pred).FP++
+		}
+		get(p.True).Support++
+	}
+	s := &Scores{PerClass: per, N: len(preds)}
+	if len(preds) == 0 {
+		return s
+	}
+	s.Accuracy = float64(correct) / float64(len(preds))
+
+	// Iterate classes in sorted order so floating-point accumulation is
+	// deterministic run to run.
+	classIDs := make([]int, 0, len(per))
+	for c := range per {
+		classIDs = append(classIDs, c)
+	}
+	sort.Ints(classIDs)
+
+	var weightedSum float64
+	var macroSum float64
+	macroN := 0
+	totalSupport := 0
+	for _, cid := range classIDs {
+		cs := per[cid]
+		if cs.TP+cs.FP > 0 {
+			cs.Precision = float64(cs.TP) / float64(cs.TP+cs.FP)
+		}
+		if cs.TP+cs.FN > 0 {
+			cs.Recall = float64(cs.TP) / float64(cs.TP+cs.FN)
+		}
+		if cs.Precision+cs.Recall > 0 {
+			cs.F1 = 2 * cs.Precision * cs.Recall / (cs.Precision + cs.Recall)
+		}
+		if cs.Support > 0 {
+			weightedSum += cs.F1 * float64(cs.Support)
+			totalSupport += cs.Support
+			macroSum += cs.F1
+			macroN++
+		}
+	}
+	if totalSupport > 0 {
+		s.WeightedF1 = weightedSum / float64(totalSupport)
+	}
+	if macroN > 0 {
+		s.MacroF1 = macroSum / float64(macroN)
+	}
+	return s
+}
+
+// Split computes scores for numerical-only, non-numerical-only, and overall
+// predictions — one row of Table 2/3.
+type Split struct {
+	Numeric, NonNumeric, Overall *Scores
+}
+
+// ComputeSplit scores predictions separated by column kind.
+func ComputeSplit(preds []Prediction) *Split {
+	var num, txt []Prediction
+	for _, p := range preds {
+		if p.Numeric {
+			num = append(num, p)
+		} else {
+			txt = append(txt, p)
+		}
+	}
+	return &Split{
+		Numeric:    Compute(num),
+		NonNumeric: Compute(txt),
+		Overall:    Compute(preds),
+	}
+}
+
+// TrainValTestSplit partitions n items (tables) into 60/20/20 index sets,
+// shuffled by the seeded RNG — the paper's split protocol (§4.2).
+func TrainValTestSplit(n int, rng *rand.Rand) (train, val, test []int) {
+	idx := rng.Perm(n)
+	nTrain := int(0.6 * float64(n))
+	nVal := int(0.2 * float64(n))
+	train = append(train, idx[:nTrain]...)
+	val = append(val, idx[nTrain:nTrain+nVal]...)
+	test = append(test, idx[nTrain+nVal:]...)
+	return
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return
+}
+
+// SeedAggregate accumulates per-seed Split results and reports means, the
+// paper's "mean across five random seeds" protocol.
+type SeedAggregate struct {
+	splits []*Split
+}
+
+// Add records one seed's results.
+func (a *SeedAggregate) Add(s *Split) { a.splits = append(a.splits, s) }
+
+// Len returns the number of recorded seeds.
+func (a *SeedAggregate) Len() int { return len(a.splits) }
+
+// metricOf extracts one metric from a split.
+type metricOf func(*Split) float64
+
+// Mean returns the mean of the metric across seeds.
+func (a *SeedAggregate) mean(f metricOf) float64 {
+	xs := make([]float64, len(a.splits))
+	for i, s := range a.splits {
+		xs[i] = f(s)
+	}
+	m, _ := MeanStd(xs)
+	return m
+}
+
+// Row is one model's row in Table 2/3: the six F1 numbers.
+type Row struct {
+	Model                                    string
+	WeightedNum, WeightedNonNum, WeightedAll float64
+	MacroNum, MacroNonNum, MacroAll          float64
+}
+
+// Row reduces the aggregate to the paper's table row.
+func (a *SeedAggregate) Row(model string) Row {
+	return Row{
+		Model:          model,
+		WeightedNum:    a.mean(func(s *Split) float64 { return s.Numeric.WeightedF1 }),
+		WeightedNonNum: a.mean(func(s *Split) float64 { return s.NonNumeric.WeightedF1 }),
+		WeightedAll:    a.mean(func(s *Split) float64 { return s.Overall.WeightedF1 }),
+		MacroNum:       a.mean(func(s *Split) float64 { return s.Numeric.MacroF1 }),
+		MacroNonNum:    a.mean(func(s *Split) float64 { return s.NonNumeric.MacroF1 }),
+		MacroAll:       a.mean(func(s *Split) float64 { return s.Overall.MacroF1 }),
+	}
+}
+
+// FormatRow renders a row like the paper's tables.
+func FormatRow(r Row) string {
+	return fmt.Sprintf("%-22s %8.3f %14.3f %8.3f %10.3f %14.3f %8.3f",
+		r.Model, r.WeightedNum, r.WeightedNonNum, r.WeightedAll,
+		r.MacroNum, r.MacroNonNum, r.MacroAll)
+}
+
+// TableHeader renders the Table 2/3 column header.
+func TableHeader() string {
+	return fmt.Sprintf("%-22s %8s %14s %8s %10s %14s %8s\n%-22s %8s %14s %8s %10s %14s %8s",
+		"", "---- support weighted F1 ----", "", "", "------- macro F1 -------", "", "",
+		"Model", "numeric", "non-numeric", "overall", "numeric", "non-numeric", "overall")
+}
+
+// --- Figure 4: per-type comparison ---
+
+// TypeDiff compares two models' per-type F1 on numerical columns.
+type TypeDiff struct {
+	// AWins / Ties / BWins count numerical semantic types by which model
+	// scored the higher F1.
+	AWins, Ties, BWins int
+	// DiffsAWins holds F1(A)−F1(B) for types where A won; DiffsBWins holds
+	// F1(B)−F1(A) where B won. These feed the boxplots of Figure 4.
+	DiffsAWins, DiffsBWins []float64
+}
+
+// CompareByType computes the Figure 4 statistics between model A's and
+// model B's numeric-column predictions on the same test set.
+func CompareByType(a, b []Prediction) *TypeDiff {
+	fa := perTypeF1(a)
+	fb := perTypeF1(b)
+	classes := make(map[int]struct{})
+	for c := range fa {
+		classes[c] = struct{}{}
+	}
+	for c := range fb {
+		classes[c] = struct{}{}
+	}
+	d := &TypeDiff{}
+	for c := range classes {
+		va, vb := fa[c], fb[c]
+		switch {
+		case va > vb:
+			d.AWins++
+			d.DiffsAWins = append(d.DiffsAWins, va-vb)
+		case vb > va:
+			d.BWins++
+			d.DiffsBWins = append(d.DiffsBWins, vb-va)
+		default:
+			d.Ties++
+		}
+	}
+	sort.Float64s(d.DiffsAWins)
+	sort.Float64s(d.DiffsBWins)
+	return d
+}
+
+func perTypeF1(preds []Prediction) map[int]float64 {
+	var numeric []Prediction
+	for _, p := range preds {
+		if p.Numeric {
+			numeric = append(numeric, p)
+		}
+	}
+	s := Compute(numeric)
+	out := make(map[int]float64)
+	for c, cs := range s.PerClass {
+		if cs.Support > 0 {
+			out[c] = cs.F1
+		}
+	}
+	return out
+}
+
+// BoxStats summarizes a sample for a boxplot: quartiles and whisker values.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Box computes boxplot statistics of xs (xs may be unsorted).
+func Box(xs []float64) BoxStats {
+	if len(xs) == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		pos := p * float64(len(s)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	return BoxStats{Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1], N: len(s)}
+}

@@ -1,0 +1,280 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputePerfectPredictions(t *testing.T) {
+	preds := []Prediction{
+		{True: 0, Pred: 0}, {True: 1, Pred: 1}, {True: 2, Pred: 2},
+	}
+	s := Compute(preds)
+	if s.WeightedF1 != 1 || s.MacroF1 != 1 || s.Accuracy != 1 {
+		t.Fatalf("perfect predictions: %+v", s)
+	}
+}
+
+func TestComputeAllWrong(t *testing.T) {
+	preds := []Prediction{{True: 0, Pred: 1}, {True: 1, Pred: 0}}
+	s := Compute(preds)
+	if s.WeightedF1 != 0 || s.MacroF1 != 0 || s.Accuracy != 0 {
+		t.Fatalf("all-wrong predictions: %+v", s)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	s := Compute(nil)
+	if s.WeightedF1 != 0 || s.MacroF1 != 0 || s.N != 0 {
+		t.Fatalf("empty predictions: %+v", s)
+	}
+}
+
+func TestComputeKnownValues(t *testing.T) {
+	// class 0: TP=2 FN=1 (support 3); class 1: TP=1 FP=1 (support 1)
+	preds := []Prediction{
+		{True: 0, Pred: 0},
+		{True: 0, Pred: 0},
+		{True: 0, Pred: 1},
+		{True: 1, Pred: 1},
+	}
+	s := Compute(preds)
+	// class0: P=1, R=2/3, F1=0.8 ; class1: P=0.5, R=1, F1=2/3
+	c0, c1 := s.PerClass[0], s.PerClass[1]
+	if math.Abs(c0.F1-0.8) > 1e-12 {
+		t.Fatalf("class0 F1 = %v", c0.F1)
+	}
+	if math.Abs(c1.F1-2.0/3) > 1e-12 {
+		t.Fatalf("class1 F1 = %v", c1.F1)
+	}
+	wantWeighted := (0.8*3 + 2.0/3*1) / 4
+	if math.Abs(s.WeightedF1-wantWeighted) > 1e-12 {
+		t.Fatalf("weighted = %v, want %v", s.WeightedF1, wantWeighted)
+	}
+	wantMacro := (0.8 + 2.0/3) / 2
+	if math.Abs(s.MacroF1-wantMacro) > 1e-12 {
+		t.Fatalf("macro = %v, want %v", s.MacroF1, wantMacro)
+	}
+}
+
+func TestComputeClassNeverTrueExcludedFromMacro(t *testing.T) {
+	// Predicting class 9 (never a true label) must not dilute macro F1
+	// beyond its FP effect on the predicted class.
+	preds := []Prediction{
+		{True: 0, Pred: 0},
+		{True: 0, Pred: 9},
+	}
+	s := Compute(preds)
+	// only class 0 has support → macro over {0}
+	if len(s.PerClass) != 2 {
+		t.Fatalf("classes tracked = %d", len(s.PerClass))
+	}
+	c0 := s.PerClass[0]
+	want := 2 * (1.0 * 0.5) / (1.0 + 0.5)
+	if math.Abs(s.MacroF1-want) > 1e-12 {
+		t.Fatalf("macro = %v, want %v (class 9 excluded)", s.MacroF1, want)
+	}
+	if c0.Support != 2 {
+		t.Fatalf("support = %d", c0.Support)
+	}
+}
+
+func TestWeightedGEMacroOnImbalancedEasyMajority(t *testing.T) {
+	// When the majority class is predicted well and the rare class badly,
+	// weighted F1 must exceed macro F1 — the GitTables signature.
+	var preds []Prediction
+	for i := 0; i < 90; i++ {
+		preds = append(preds, Prediction{True: 0, Pred: 0})
+	}
+	for i := 0; i < 10; i++ {
+		preds = append(preds, Prediction{True: 1, Pred: 0})
+	}
+	s := Compute(preds)
+	if s.WeightedF1 <= s.MacroF1 {
+		t.Fatalf("weighted (%v) should exceed macro (%v) here", s.WeightedF1, s.MacroF1)
+	}
+}
+
+func TestComputeSplitSeparatesKinds(t *testing.T) {
+	preds := []Prediction{
+		{True: 0, Pred: 0, Numeric: true},
+		{True: 1, Pred: 2, Numeric: true},
+		{True: 3, Pred: 3, Numeric: false},
+	}
+	sp := ComputeSplit(preds)
+	if sp.Numeric.N != 2 || sp.NonNumeric.N != 1 || sp.Overall.N != 3 {
+		t.Fatalf("split Ns: %d %d %d", sp.Numeric.N, sp.NonNumeric.N, sp.Overall.N)
+	}
+	if sp.NonNumeric.WeightedF1 != 1 {
+		t.Fatal("non-numeric split wrong")
+	}
+}
+
+func TestTrainValTestSplitProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, val, test := TrainValTestSplit(100, rng)
+	if len(train) != 60 || len(val) != 20 || len(test) != 20 {
+		t.Fatalf("split sizes %d/%d/%d", len(train), len(val), len(test))
+	}
+	seen := map[int]bool{}
+	for _, set := range [][]int{train, val, test} {
+		for _, i := range set {
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatal("split lost indices")
+	}
+}
+
+func TestTrainValTestSplitDeterministicPerSeed(t *testing.T) {
+	a1, _, _ := TrainValTestSplit(50, rand.New(rand.NewSource(7)))
+	a2, _, _ := TrainValTestSplit(50, rand.New(rand.NewSource(7)))
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed must give same split")
+		}
+	}
+	b, _, _ := TrainValTestSplit(50, rand.New(rand.NewSource(8)))
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTrainValTestSplitSmallN(t *testing.T) {
+	train, val, test := TrainValTestSplit(3, rand.New(rand.NewSource(1)))
+	if len(train)+len(val)+len(test) != 3 {
+		t.Fatal("small split lost items")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(m-5) > 1e-12 || math.Abs(s-2) > 1e-12 {
+		t.Fatalf("MeanStd = %v, %v", m, s)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd should be 0,0")
+	}
+}
+
+func TestSeedAggregateRow(t *testing.T) {
+	agg := &SeedAggregate{}
+	mk := func(w float64) *Split {
+		preds := []Prediction{{True: 0, Pred: 0, Numeric: true}}
+		s := ComputeSplit(preds)
+		s.Numeric.WeightedF1 = w // override for the arithmetic check
+		return s
+	}
+	agg.Add(mk(0.8))
+	agg.Add(mk(0.9))
+	row := agg.Row("test-model")
+	if math.Abs(row.WeightedNum-0.85) > 1e-12 {
+		t.Fatalf("mean across seeds = %v", row.WeightedNum)
+	}
+	if agg.Len() != 2 {
+		t.Fatal("Len wrong")
+	}
+	if row.Model != "test-model" {
+		t.Fatal("model name lost")
+	}
+}
+
+func TestCompareByTypeFigure4(t *testing.T) {
+	// Model A perfect on types 0,1; model B perfect on type 2; tie on 3.
+	a := []Prediction{
+		{True: 0, Pred: 0, Numeric: true},
+		{True: 1, Pred: 1, Numeric: true},
+		{True: 2, Pred: 0, Numeric: true},
+		{True: 3, Pred: 3, Numeric: true},
+	}
+	b := []Prediction{
+		{True: 0, Pred: 1, Numeric: true},
+		{True: 1, Pred: 0, Numeric: true},
+		{True: 2, Pred: 2, Numeric: true},
+		{True: 3, Pred: 3, Numeric: true},
+	}
+	d := CompareByType(a, b)
+	if d.AWins != 2 || d.BWins != 1 || d.Ties != 1 {
+		t.Fatalf("CompareByType = %+v", d)
+	}
+	if len(d.DiffsAWins) != 2 || d.DiffsAWins[0] <= 0 {
+		t.Fatalf("DiffsAWins = %v", d.DiffsAWins)
+	}
+}
+
+func TestCompareByTypeIgnoresNonNumeric(t *testing.T) {
+	a := []Prediction{{True: 0, Pred: 0, Numeric: false}}
+	b := []Prediction{{True: 0, Pred: 1, Numeric: false}}
+	d := CompareByType(a, b)
+	if d.AWins+d.BWins+d.Ties != 0 {
+		t.Fatal("non-numeric predictions must be excluded from Figure 4")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 || b.N != 5 {
+		t.Fatalf("Box = %+v", b)
+	}
+	if e := Box(nil); e.N != 0 {
+		t.Fatal("empty Box")
+	}
+}
+
+func TestBoxUnsortedInput(t *testing.T) {
+	b := Box([]float64{5, 1, 3, 2, 4})
+	if b.Median != 3 {
+		t.Fatalf("Box must sort internally, median = %v", b.Median)
+	}
+}
+
+func TestScoresBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		preds := make([]Prediction, n)
+		for i := range preds {
+			preds[i] = Prediction{
+				True: rng.Intn(5), Pred: rng.Intn(5), Numeric: rng.Intn(2) == 0,
+			}
+		}
+		s := Compute(preds)
+		return s.WeightedF1 >= 0 && s.WeightedF1 <= 1 &&
+			s.MacroF1 >= 0 && s.MacroF1 <= 1 &&
+			s.Accuracy >= 0 && s.Accuracy <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyLEWeightedConsistency(t *testing.T) {
+	// For single-label micro stats, accuracy equals micro-F1; weighted F1
+	// can differ but all stay in [0,1] and perfect accuracy implies
+	// perfect weighted.
+	preds := []Prediction{{True: 0, Pred: 0}, {True: 1, Pred: 1}}
+	s := Compute(preds)
+	if s.Accuracy == 1 && s.WeightedF1 != 1 {
+		t.Fatal("perfect accuracy must imply perfect weighted F1")
+	}
+}
+
+func TestFormatRowAndHeaderNonEmpty(t *testing.T) {
+	r := Row{Model: "Pythagoras", WeightedNum: 0.829}
+	if FormatRow(r) == "" || TableHeader() == "" {
+		t.Fatal("formatting must produce text")
+	}
+}

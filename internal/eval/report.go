@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ReportOptions controls classification-report rendering.
+type ReportOptions struct {
+	// ClassNames maps class indices to names; indices without names render
+	// numerically.
+	ClassNames []string
+	// SortBySupport orders rows by descending support instead of class id.
+	SortBySupport bool
+	// TopK truncates to the first K rows after sorting (0 = all).
+	TopK int
+}
+
+// Report renders a per-class precision/recall/F1/support table in the style
+// of sklearn's classification_report, plus the weighted/macro summary the
+// paper reports.
+func Report(s *Scores, opts ReportOptions) string {
+	classes := make([]*ClassScore, 0, len(s.PerClass))
+	for _, cs := range s.PerClass {
+		if cs.Support > 0 {
+			classes = append(classes, cs)
+		}
+	}
+	if opts.SortBySupport {
+		sort.Slice(classes, func(i, j int) bool {
+			if classes[i].Support != classes[j].Support {
+				return classes[i].Support > classes[j].Support
+			}
+			return classes[i].Class < classes[j].Class
+		})
+	} else {
+		sort.Slice(classes, func(i, j int) bool { return classes[i].Class < classes[j].Class })
+	}
+	if opts.TopK > 0 && len(classes) > opts.TopK {
+		classes = classes[:opts.TopK]
+	}
+
+	name := func(c int) string {
+		if c >= 0 && c < len(opts.ClassNames) {
+			return opts.ClassNames[c]
+		}
+		return fmt.Sprintf("class %d", c)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-45s %9s %9s %9s %9s\n", "", "precision", "recall", "f1", "support")
+	for _, cs := range classes {
+		fmt.Fprintf(&sb, "%-45s %9.3f %9.3f %9.3f %9d\n",
+			truncate(name(cs.Class), 45), cs.Precision, cs.Recall, cs.F1, cs.Support)
+	}
+	fmt.Fprintf(&sb, "\n%-45s %9s %9s %9.3f %9d\n", "weighted avg", "", "", s.WeightedF1, s.N)
+	fmt.Fprintf(&sb, "%-45s %9s %9s %9.3f %9d\n", "macro avg", "", "", s.MacroF1, s.N)
+	fmt.Fprintf(&sb, "%-45s %9s %9s %9.3f %9d\n", "accuracy", "", "", s.Accuracy, s.N)
+	return sb.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// ConfusionPairs returns the most frequent (true, predicted) error pairs —
+// the quickest way to see which semantic types a model conflates.
+type ConfusionPair struct {
+	True, Pred int
+	Count      int
+}
+
+// TopConfusions extracts the k most frequent misclassification pairs.
+func TopConfusions(preds []Prediction, k int) []ConfusionPair {
+	counts := map[[2]int]int{}
+	for _, p := range preds {
+		if p.True != p.Pred {
+			counts[[2]int{p.True, p.Pred}]++
+		}
+	}
+	out := make([]ConfusionPair, 0, len(counts))
+	for pair, n := range counts {
+		out = append(out, ConfusionPair{True: pair[0], Pred: pair[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].True != out[j].True {
+			return out[i].True < out[j].True
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func reportPreds() []Prediction {
+	return []Prediction{
+		{True: 0, Pred: 0}, {True: 0, Pred: 0}, {True: 0, Pred: 1},
+		{True: 1, Pred: 1},
+		{True: 2, Pred: 0}, {True: 2, Pred: 0},
+	}
+}
+
+func TestReportContainsAllClasses(t *testing.T) {
+	s := Compute(reportPreds())
+	out := Report(s, ReportOptions{ClassNames: []string{"price", "rating", "year"}})
+	for _, want := range []string{"price", "rating", "year", "weighted avg", "macro avg", "accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportUnknownClassNames(t *testing.T) {
+	s := Compute(reportPreds())
+	out := Report(s, ReportOptions{})
+	if !strings.Contains(out, "class 0") {
+		t.Fatalf("numeric fallback missing:\n%s", out)
+	}
+}
+
+func TestReportSortAndTopK(t *testing.T) {
+	s := Compute(reportPreds())
+	out := Report(s, ReportOptions{
+		ClassNames:    []string{"price", "rating", "year"},
+		SortBySupport: true,
+		TopK:          1,
+	})
+	// class 0 has the largest support (3); only it should appear
+	if !strings.Contains(out, "price") || strings.Contains(out, "rating") {
+		t.Fatalf("TopK/sort wrong:\n%s", out)
+	}
+}
+
+func TestReportTruncatesLongNames(t *testing.T) {
+	long := strings.Repeat("x", 100)
+	s := Compute([]Prediction{{True: 0, Pred: 0}})
+	out := Report(s, ReportOptions{ClassNames: []string{long}})
+	if strings.Contains(out, long) {
+		t.Fatal("long class name not truncated")
+	}
+}
+
+func TestTopConfusions(t *testing.T) {
+	preds := []Prediction{
+		{True: 0, Pred: 1}, {True: 0, Pred: 1}, {True: 0, Pred: 1},
+		{True: 2, Pred: 3}, {True: 2, Pred: 3},
+		{True: 4, Pred: 5},
+		{True: 6, Pred: 6}, // correct — excluded
+	}
+	top := TopConfusions(preds, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].True != 0 || top[0].Pred != 1 || top[0].Count != 3 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].True != 2 || top[1].Count != 2 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+	if all := TopConfusions(preds, 0); len(all) != 3 {
+		t.Fatalf("k=0 should return all confusions, got %d", len(all))
+	}
+}
+
+func TestTopConfusionsDeterministicTieBreak(t *testing.T) {
+	preds := []Prediction{
+		{True: 5, Pred: 6},
+		{True: 1, Pred: 2},
+	}
+	a := TopConfusions(preds, 0)
+	b := TopConfusions(preds, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+	if a[0].True != 1 {
+		t.Fatalf("tie-break order = %v", a)
+	}
+}

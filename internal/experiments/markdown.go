@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMarkdown renders measured results as the markdown section embedded
+// in EXPERIMENTS.md. Nil inputs skip their sections.
+func WriteMarkdown(w io.Writer, s Scale, t2, t3 *ComparisonResult, fig *Figure4Result, t4 []AblationRow) {
+	fmt.Fprintf(w, "### Run configuration\n\n")
+	fmt.Fprintf(w, "Scale `%s`: SportsTables %d tables, GitTables %d tables, encoder %d-d × %d layers, seeds %v, Pythagoras %d epochs (hidden %d).\n\n",
+		s.Name, s.Sports.NumTables, s.Git.NumTables, s.Encoder.Dim, s.Encoder.Layers,
+		s.Seeds, s.Pythagoras.Epochs, s.Pythagoras.HiddenDim)
+
+	writeComparisonMD := func(title string, res *ComparisonResult) {
+		fmt.Fprintf(w, "### %s\n\n", title)
+		fmt.Fprintln(w, "| Model | wF1 num | wF1 non-num | wF1 all | mF1 num | mF1 non-num | mF1 all |")
+		fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+		for _, r := range res.Rows {
+			name := r.Model
+			if name == "Pythagoras" {
+				name = "**Pythagoras**"
+			}
+			fmt.Fprintf(w, "| %s | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f |\n",
+				name, r.WeightedNum, r.WeightedNonNum, r.WeightedAll,
+				r.MacroNum, r.MacroNonNum, r.MacroAll)
+		}
+		fmt.Fprintln(w)
+	}
+	if t2 != nil {
+		writeComparisonMD("Table 2 (measured) — SportsTables", t2)
+	}
+	if t3 != nil {
+		writeComparisonMD("Table 3 (measured) — GitTables Numeric", t3)
+	}
+	if fig != nil {
+		total := fig.PythagorasWins + fig.Ties + fig.SatoWins
+		fmt.Fprintf(w, "### Figure 4 (measured) — per-type Pythagoras vs Sato, numeric SportsTables\n\n")
+		fmt.Fprintf(w, "Of %d numeric types: Pythagoras better on %d, equal on %d, Sato better on %d.\n",
+			total, fig.PythagorasWins, fig.Ties, fig.SatoWins)
+		fmt.Fprintf(w, "F1 gap where Pythagoras wins: median %.2f (Q1 %.2f, Q3 %.2f, max %.2f); where Sato wins: median %.2f (Q1 %.2f, Q3 %.2f, max %.2f).\n\n",
+			fig.PythagorasBox.Median, fig.PythagorasBox.Q1, fig.PythagorasBox.Q3, fig.PythagorasBox.Max,
+			fig.SatoBox.Median, fig.SatoBox.Q1, fig.SatoBox.Q3, fig.SatoBox.Max)
+	}
+	if len(t4) > 0 {
+		fmt.Fprintf(w, "### Table 4 (measured) — ablations, numeric SportsTables columns\n\n")
+		fmt.Fprintln(w, "| Variant | wF1 | mF1 |")
+		fmt.Fprintln(w, "|---|---|---|")
+		for _, r := range t4 {
+			fmt.Fprintf(w, "| %s | %.3f | %.3f |\n", r.Variant, r.WeightedF1, r.MacroF1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if claims := CheckShapes(t2, t3, fig, t4); len(claims) > 0 {
+		fmt.Fprintf(w, "### Shape claims\n\n")
+		for _, c := range claims {
+			mark := "✅"
+			if !c.Holds {
+				mark = "❌"
+			}
+			fmt.Fprintf(w, "- %s **%s** — %s. (%s)\n", mark, c.ID, c.Text, c.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShapeClaim is one of the qualitative reproduction targets of DESIGN.md §4
+// evaluated against measured results.
+type ShapeClaim struct {
+	ID     string
+	Text   string
+	Holds  bool
+	Detail string
+}
+
+// CheckShapes evaluates the paper's shape claims against the measured
+// comparison results and (optionally) ablation rows. Nil inputs skip the
+// claims that depend on them.
+func CheckShapes(t2, t3 *ComparisonResult, fig4 *Figure4Result, t4 []AblationRow) []ShapeClaim {
+	var claims []ShapeClaim
+	add := func(id, text string, holds bool, detail string) {
+		claims = append(claims, ShapeClaim{ID: id, Text: text, Holds: holds, Detail: detail})
+	}
+
+	if t2 != nil {
+		pyth, _ := RowByModel(t2, "Pythagoras")
+		bestName, best := BestBaselineNumeric(t2)
+		add("S1-sports",
+			"Pythagoras beats every baseline on numeric columns (SportsTables)",
+			pyth.WeightedNum > best,
+			fmt.Sprintf("Pythagoras %.3f vs best baseline %s %.3f", pyth.WeightedNum, bestName, best))
+
+		doso, _ := RowByModel(t2, "Dosolo")
+		llm, _ := RowByModel(t2, "GPT-3 (fine-tuned)")
+		sato, _ := RowByModel(t2, "Sato")
+		add("S2-contextfree",
+			"Context-free models (Dosolo, LLM) are far worse on numeric than context-aware models",
+			doso.WeightedNum < sato.WeightedNum && llm.WeightedNum < sato.WeightedNum &&
+				doso.WeightedNum < pyth.WeightedNum && llm.WeightedNum < pyth.WeightedNum,
+			fmt.Sprintf("Dosolo %.3f, LLM %.3f vs Sato %.3f, Pythagoras %.3f",
+				doso.WeightedNum, llm.WeightedNum, sato.WeightedNum, pyth.WeightedNum))
+
+		add("S3-nonnumeric",
+			"All models do clearly better on non-numeric than numeric columns",
+			allNonNumericEasier(t2),
+			nonNumericDetail(t2))
+	}
+
+	if t3 != nil {
+		pyth, _ := RowByModel(t3, "Pythagoras")
+		add("S4-gittables-macro",
+			"GitTables macro F1 ≪ weighted F1 (long-tailed types)",
+			pyth.MacroNum < pyth.WeightedNum,
+			fmt.Sprintf("Pythagoras numeric: macro %.3f vs weighted %.3f", pyth.MacroNum, pyth.WeightedNum))
+	}
+
+	if fig4 != nil {
+		add("S5-fig4",
+			"Pythagoras wins on more numeric types than Sato, with larger median gaps where it wins",
+			fig4.PythagorasWins > fig4.SatoWins &&
+				fig4.PythagorasBox.Median >= fig4.SatoBox.Median,
+			fmt.Sprintf("wins %d/%d/%d (P/tie/S), medians %.2f vs %.2f",
+				fig4.PythagorasWins, fig4.Ties, fig4.SatoWins,
+				fig4.PythagorasBox.Median, fig4.SatoBox.Median))
+	}
+
+	if len(t4) == 8 {
+		byName := map[string]AblationRow{}
+		for _, r := range t4 {
+			byName[r.Variant] = r
+		}
+		full := byName["Pythagoras"]
+		noNN := byName["w/o V_nn"]
+		noAllCtx := byName["w/o V_tn, V_nn"]
+		headers := byName["w/ original c_h"]
+		add("S6-ablation",
+			"Removing context hurts (V_nn most), removing all textual context hurts drastically, headers ≈ ceiling",
+			noNN.WeightedF1 < full.WeightedF1 &&
+				noAllCtx.WeightedF1 < noNN.WeightedF1 &&
+				headers.WeightedF1 > full.WeightedF1,
+			fmt.Sprintf("full %.3f, w/o V_nn %.3f, w/o V_tn+V_nn %.3f, w/ headers %.3f",
+				full.WeightedF1, noNN.WeightedF1, noAllCtx.WeightedF1, headers.WeightedF1))
+	}
+	return claims
+}
+
+func allNonNumericEasier(res *ComparisonResult) bool {
+	for _, r := range res.Rows {
+		if r.WeightedNonNum <= r.WeightedNum {
+			return false
+		}
+	}
+	return true
+}
+
+func nonNumericDetail(res *ComparisonResult) string {
+	var parts []string
+	for _, r := range res.Rows {
+		parts = append(parts, fmt.Sprintf("%s %.2f/%.2f", r.Model, r.WeightedNonNum, r.WeightedNum))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// FormatShapes renders the claim checklist.
+func FormatShapes(claims []ShapeClaim) string {
+	var sb strings.Builder
+	sb.WriteString("Shape claims (DESIGN.md §4):\n")
+	for _, c := range claims {
+		mark := "HOLDS "
+		if !c.Holds {
+			mark = "FAILS "
+		}
+		fmt.Fprintf(&sb, "  [%s] %s: %s\n          %s\n", mark, c.ID, c.Text, c.Detail)
+	}
+	return sb.String()
+}

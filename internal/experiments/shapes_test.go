@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/eval"
+)
+
+func syntheticComparison(pythNum, satoNum float64) *ComparisonResult {
+	mk := func(model string, num float64) eval.Row {
+		return eval.Row{
+			Model: model, WeightedNum: num, WeightedNonNum: num + 0.2,
+			MacroNum: num - 0.1, WeightedAll: num,
+		}
+	}
+	return &ComparisonResult{Rows: []eval.Row{
+		mk("Sherlock", 0.4), mk("Sato", satoNum), mk("Dosolo", 0.2),
+		mk("Doduo", 0.45), mk("GPT-3 (fine-tuned)", 0.25), mk("Pythagoras", pythNum),
+	}}
+}
+
+func TestCheckShapesAllHold(t *testing.T) {
+	t2 := syntheticComparison(0.8, 0.6)
+	t3 := syntheticComparison(0.7, 0.6)
+	fig := &Figure4Result{
+		PythagorasWins: 100, Ties: 30, SatoWins: 40,
+		PythagorasBox: eval.BoxStats{Median: 0.2},
+		SatoBox:       eval.BoxStats{Median: 0.1},
+	}
+	t4 := []AblationRow{
+		{Variant: "Pythagoras", WeightedF1: 0.8},
+		{Variant: "w/o V_tn", WeightedF1: 0.77},
+		{Variant: "w/o V_nn", WeightedF1: 0.72},
+		{Variant: "w/o V_ncf", WeightedF1: 0.78},
+		{Variant: "w/o V_tn, V_nn", WeightedF1: 0.6},
+		{Variant: "w/o V_tn, V_nn, V_ncf", WeightedF1: 0.3},
+		{Variant: "w/ original c_h", WeightedF1: 0.95},
+		{Variant: "w/ synthesized c_h", WeightedF1: 0.9},
+	}
+	claims := CheckShapes(t2, t3, fig, t4)
+	if len(claims) != 6 {
+		t.Fatalf("claims = %d, want 6", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %s should hold: %s", c.ID, c.Detail)
+		}
+	}
+	out := FormatShapes(claims)
+	if !strings.Contains(out, "HOLDS") || strings.Contains(out, "FAILS") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+}
+
+func TestCheckShapesDetectsFailure(t *testing.T) {
+	// Sato beats Pythagoras on numeric → S1 must fail.
+	t2 := syntheticComparison(0.5, 0.6)
+	claims := CheckShapes(t2, nil, nil, nil)
+	found := false
+	for _, c := range claims {
+		if c.ID == "S1-sports" {
+			found = true
+			if c.Holds {
+				t.Fatal("S1 should fail when Sato wins")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("S1 claim missing")
+	}
+	if !strings.Contains(FormatShapes(claims), "FAILS") {
+		t.Fatal("failure not rendered")
+	}
+}
+
+func TestCheckShapesNilInputsSkip(t *testing.T) {
+	claims := CheckShapes(nil, nil, nil, nil)
+	if len(claims) != 0 {
+		t.Fatalf("nil inputs produced %d claims", len(claims))
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	t2 := syntheticComparison(0.8, 0.6)
+	fig := &Figure4Result{PythagorasWins: 10, Ties: 2, SatoWins: 3}
+	t4 := []AblationRow{{Variant: "Pythagoras", WeightedF1: 0.8, MacroF1: 0.7}}
+	var buf bytes.Buffer
+	WriteMarkdown(&buf, QuickScale(), t2, nil, fig, t4)
+	out := buf.String()
+	for _, want := range []string{"Table 2 (measured)", "**Pythagoras**", "Figure 4 (measured)", "Table 4 (measured)", "Shape claims"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package features
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFeaturesDocInSync keeps FEATURES.md (the reproduction of the paper's
+// extended-technical-report feature list) in lockstep with the registry.
+// Regenerate with: REGEN_FEATURES_MD=1 go test ./internal/features -run TestFeaturesDocInSync
+func TestFeaturesDocInSync(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# The 192 Statistical Features of Numerical Columns\n\n")
+	sb.WriteString("This file reproduces the feature list the paper publishes in its\n")
+	sb.WriteString("extended technical report (§2.1): the vector carried by each V_ncf\n")
+	sb.WriteString("node. It is generated from the registry in internal/features and kept\n")
+	sb.WriteString("in sync by TestFeaturesDocInSync.\n\n")
+	sb.WriteString("| # | Feature |\n|---|---|\n")
+	for i, name := range Names() {
+		fmt.Fprintf(&sb, "| %d | `%s` |\n", i+1, name)
+	}
+	want := sb.String()
+
+	const path = "../../FEATURES.md"
+	if os.Getenv("REGEN_FEATURES_MD") != "" {
+		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("FEATURES.md missing (regenerate with REGEN_FEATURES_MD=1): %v", err)
+	}
+	if string(got) != want {
+		t.Fatal("FEATURES.md out of sync with the feature registry; regenerate with REGEN_FEATURES_MD=1")
+	}
+}

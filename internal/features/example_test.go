@@ -1,0 +1,22 @@
+package features_test
+
+import (
+	"fmt"
+
+	"github.com/sematype/pythagoras/internal/features"
+)
+
+// ExampleExtract computes the 192 statistical features of a numerical
+// column — the vector carried by its V_ncf node.
+func ExampleExtract() {
+	assistsPerGame := []float64{7.5, 2.1, 5.3, 3.8, 6.1}
+	vec := features.Extract(assistsPerGame)
+	fmt.Println("features:", len(vec))
+	names := features.Names()
+	fmt.Printf("%s = %.1f\n", names[0], vec[0])   // count
+	fmt.Printf("%s = %.2f\n", names[10], vec[10]) // mean
+	// Output:
+	// features: 192
+	// count = 5.0
+	// mean = 4.96
+}

@@ -1,0 +1,991 @@
+// Package features extracts the paper's 192 statistical features of
+// numerical columns (§2.1) — the vector carried by each V_ncf node and fed
+// through the numeric subnetwork.
+//
+// The published feature list lives in the paper's technical report; this
+// implementation reconstructs it from the families the paper and its
+// Sherlock ancestry describe: moments, quantiles, sign/integrality
+// structure, digit and Benford statistics, sortedness, gaps, outliers,
+// entropy, and range-membership detectors for common real-world numeric
+// types (years, months, latitudes, percentages, …). A registry gives every
+// feature a stable name and position; the package test pins the count to
+// exactly 192.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dim is the number of features extracted per numeric column.
+const Dim = 192
+
+// Feature couples a stable name with its extractor.
+type Feature struct {
+	Name string
+	Fn   func(*Summary) float64
+}
+
+var registry []Feature
+
+// Names returns the feature names in vector order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, f := range registry {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Summary holds the precomputed statistics all features derive from. It is
+// exported so callers can reuse one pass over the data for multiple
+// purposes (e.g. the corpus validators).
+type Summary struct {
+	Values []float64 // original order
+	Sorted []float64
+	N      int
+
+	Mean, Var, Std, Skew, Kurt float64
+	Min, Max                   float64
+	Sum                        float64
+
+	NUnique    int
+	NZero      int
+	NNeg, NPos int
+
+	// log-domain moments over log1p(|x|)
+	LogMean, LogStd, LogSkew, LogKurt float64
+
+	counts map[float64]int
+}
+
+// Summarize computes a Summary for values. It never mutates the input.
+func Summarize(values []float64) *Summary {
+	s := &Summary{Values: values, N: len(values), counts: make(map[float64]int)}
+	if s.N == 0 {
+		return s
+	}
+	s.Sorted = append([]float64(nil), values...)
+	sort.Float64s(s.Sorted)
+	s.Min, s.Max = s.Sorted[0], s.Sorted[s.N-1]
+
+	var sum, sum2 float64
+	logs := make([]float64, s.N)
+	for i, v := range values {
+		sum += v
+		sum2 += v * v
+		s.counts[v]++
+		switch {
+		case v == 0:
+			s.NZero++
+		case v < 0:
+			s.NNeg++
+		default:
+			s.NPos++
+		}
+		logs[i] = math.Log1p(math.Abs(v))
+	}
+	s.Sum = sum
+	n := float64(s.N)
+	s.Mean = sum / n
+	s.Var = sum2/n - s.Mean*s.Mean
+	if s.Var < 0 {
+		s.Var = 0
+	}
+	s.Std = math.Sqrt(s.Var)
+	s.NUnique = len(s.counts)
+
+	if s.Std > 0 {
+		var m3, m4 float64
+		for _, v := range values {
+			d := (v - s.Mean) / s.Std
+			m3 += d * d * d
+			m4 += d * d * d * d
+		}
+		s.Skew = m3 / n
+		s.Kurt = m4/n - 3
+	}
+	s.LogMean, s.LogStd, s.LogSkew, s.LogKurt = moments(logs)
+	return s
+}
+
+func moments(xs []float64) (mean, std, skew, kurt float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean = sum / n
+	var v2 float64
+	for _, v := range xs {
+		d := v - mean
+		v2 += d * d
+	}
+	std = math.Sqrt(v2 / n)
+	if std > 0 {
+		var m3, m4 float64
+		for _, v := range xs {
+			d := (v - mean) / std
+			m3 += d * d * d
+			m4 += d * d * d * d
+		}
+		skew = m3 / n
+		kurt = m4/n - 3
+	}
+	return
+}
+
+// Quantile returns the q-th quantile (0..1) of the sorted data by linear
+// interpolation. Returns 0 for empty summaries.
+func (s *Summary) Quantile(q float64) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	if s.N == 1 {
+		return s.Sorted[0]
+	}
+	pos := q * float64(s.N-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if hi >= s.N {
+		hi = s.N - 1
+	}
+	frac := pos - float64(lo)
+	return s.Sorted[lo]*(1-frac) + s.Sorted[hi]*frac
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// clamp keeps pathological magnitudes (heavy-tailed kurtosis, huge value
+// ranges) from destabilizing downstream networks.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return math.Max(-1e6, math.Min(1e6, v))
+}
+
+func frac(s *Summary, pred func(float64) bool) float64 {
+	if s.N == 0 {
+		return 0
+	}
+	c := 0
+	for _, v := range s.Values {
+		if pred(v) {
+			c++
+		}
+	}
+	return float64(c) / float64(s.N)
+}
+
+func isInt(v float64) bool { return v == math.Trunc(v) }
+
+func add(name string, fn func(*Summary) float64) {
+	registry = append(registry, Feature{Name: name, Fn: fn})
+}
+
+func init() {
+	buildRegistry()
+	if len(registry) != Dim {
+		panic(fmt.Sprintf("features: registry has %d entries, want %d", len(registry), Dim))
+	}
+}
+
+func buildRegistry() {
+	// --- counts & cardinality (10) ---
+	add("count", func(s *Summary) float64 { return float64(s.N) })
+	add("log_count", func(s *Summary) float64 { return math.Log1p(float64(s.N)) })
+	add("n_unique", func(s *Summary) float64 { return float64(s.NUnique) })
+	add("log_n_unique", func(s *Summary) float64 { return math.Log1p(float64(s.NUnique)) })
+	add("unique_ratio", func(s *Summary) float64 { return safeDiv(float64(s.NUnique), float64(s.N)) })
+	add("n_zero", func(s *Summary) float64 { return float64(s.NZero) })
+	add("frac_zero", func(s *Summary) float64 { return safeDiv(float64(s.NZero), float64(s.N)) })
+	add("frac_negative", func(s *Summary) float64 { return safeDiv(float64(s.NNeg), float64(s.N)) })
+	add("frac_positive", func(s *Summary) float64 { return safeDiv(float64(s.NPos), float64(s.N)) })
+	add("all_unique", func(s *Summary) float64 { return boolF(s.N > 0 && s.NUnique == s.N) })
+
+	// --- raw moments (8) ---
+	add("mean", func(s *Summary) float64 { return clamp(s.Mean) })
+	add("variance", func(s *Summary) float64 { return clamp(s.Var) })
+	add("std", func(s *Summary) float64 { return clamp(s.Std) })
+	add("skewness", func(s *Summary) float64 { return clamp(s.Skew) })
+	add("kurtosis", func(s *Summary) float64 { return clamp(s.Kurt) })
+	add("coef_variation", func(s *Summary) float64 { return clamp(safeDiv(s.Std, math.Abs(s.Mean))) })
+	add("mean_abs", func(s *Summary) float64 {
+		var t float64
+		for _, v := range s.Values {
+			t += math.Abs(v)
+		}
+		return clamp(safeDiv(t, float64(s.N)))
+	})
+	add("rms", func(s *Summary) float64 {
+		var t float64
+		for _, v := range s.Values {
+			t += v * v
+		}
+		return clamp(math.Sqrt(safeDiv(t, float64(s.N))))
+	})
+
+	// --- robust stats (6) ---
+	add("median", func(s *Summary) float64 { return clamp(s.Quantile(0.5)) })
+	add("mad", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		med := s.Quantile(0.5)
+		devs := make([]float64, s.N)
+		for i, v := range s.Values {
+			devs[i] = math.Abs(v - med)
+		}
+		sort.Float64s(devs)
+		return clamp((&Summary{Sorted: devs, N: len(devs)}).Quantile(0.5))
+	})
+	add("iqr", func(s *Summary) float64 { return clamp(s.Quantile(0.75) - s.Quantile(0.25)) })
+	add("trimmed_mean_10", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		lo, hi := int(0.1*float64(s.N)), s.N-int(0.1*float64(s.N))
+		if lo >= hi {
+			return clamp(s.Mean)
+		}
+		var t float64
+		for _, v := range s.Sorted[lo:hi] {
+			t += v
+		}
+		return clamp(t / float64(hi-lo))
+	})
+	add("midhinge", func(s *Summary) float64 { return clamp((s.Quantile(0.25) + s.Quantile(0.75)) / 2) })
+	add("range_over_iqr", func(s *Summary) float64 {
+		return clamp(safeDiv(s.Max-s.Min, s.Quantile(0.75)-s.Quantile(0.25)))
+	})
+
+	// --- extremes (6) ---
+	add("min", func(s *Summary) float64 { return clamp(s.Min) })
+	add("max", func(s *Summary) float64 { return clamp(s.Max) })
+	add("range", func(s *Summary) float64 { return clamp(s.Max - s.Min) })
+	add("abs_max", func(s *Summary) float64 { return clamp(math.Max(math.Abs(s.Min), math.Abs(s.Max))) })
+	add("mid_range", func(s *Summary) float64 { return clamp((s.Min + s.Max) / 2) })
+	add("log_range", func(s *Summary) float64 { return math.Log1p(math.Abs(s.Max - s.Min)) })
+
+	// --- quantiles (17) ---
+	for _, q := range []float64{0.01, 0.025, 0.05, 0.10, 0.20, 0.25, 0.30, 0.40, 0.50, 0.60, 0.70, 0.75, 0.80, 0.90, 0.95, 0.975, 0.99} {
+		q := q
+		add(fmt.Sprintf("p%g", q*100), func(s *Summary) float64 { return clamp(s.Quantile(q)) })
+	}
+
+	// --- z-scored quantiles (10) ---
+	for _, q := range []float64{0.05, 0.10, 0.25, 0.40, 0.50, 0.60, 0.75, 0.90, 0.95, 0.99} {
+		q := q
+		add(fmt.Sprintf("z_p%g", q*100), func(s *Summary) float64 {
+			return clamp(safeDiv(s.Quantile(q)-s.Mean, s.Std))
+		})
+	}
+
+	// --- quantile shape ratios (5) ---
+	add("quartile_skew", func(s *Summary) float64 {
+		q1, q2, q3 := s.Quantile(0.25), s.Quantile(0.5), s.Quantile(0.75)
+		return clamp(safeDiv(q3+q1-2*q2, q3-q1))
+	})
+	add("decile_range_ratio", func(s *Summary) float64 {
+		return clamp(safeDiv(s.Quantile(0.9)-s.Quantile(0.1), s.Max-s.Min))
+	})
+	add("p99_over_p50", func(s *Summary) float64 { return clamp(safeDiv(s.Quantile(0.99), s.Quantile(0.5))) })
+	add("p50_over_p1", func(s *Summary) float64 { return clamp(safeDiv(s.Quantile(0.5), s.Quantile(0.01))) })
+	add("mean_over_median", func(s *Summary) float64 { return clamp(safeDiv(s.Mean, s.Quantile(0.5))) })
+
+	// --- log-domain moments (6) ---
+	add("log_mean", func(s *Summary) float64 { return clamp(s.LogMean) })
+	add("log_std", func(s *Summary) float64 { return clamp(s.LogStd) })
+	add("log_skew", func(s *Summary) float64 { return clamp(s.LogSkew) })
+	add("log_kurt", func(s *Summary) float64 { return clamp(s.LogKurt) })
+	add("frac_abs_gt_1", func(s *Summary) float64 { return frac(s, func(v float64) bool { return math.Abs(v) > 1 }) })
+	add("geo_mean_pos", func(s *Summary) float64 {
+		var t float64
+		c := 0
+		for _, v := range s.Values {
+			if v > 0 {
+				t += math.Log(v)
+				c++
+			}
+		}
+		if c == 0 {
+			return 0
+		}
+		return clamp(math.Exp(t / float64(c)))
+	})
+
+	// --- integrality & divisibility (8) ---
+	add("frac_integer", func(s *Summary) float64 { return frac(s, isInt) })
+	add("frac_half_integer", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return isInt(v*2) && !isInt(v) })
+	})
+	add("mean_decimal_places", func(s *Summary) float64 {
+		var t float64
+		for _, v := range s.Values {
+			t += float64(decimalPlaces(v))
+		}
+		return safeDiv(t, float64(s.N))
+	})
+	add("max_decimal_places", func(s *Summary) float64 {
+		mx := 0
+		for _, v := range s.Values {
+			if d := decimalPlaces(v); d > mx {
+				mx = d
+			}
+		}
+		return float64(mx)
+	})
+	add("frac_le2_decimals", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return decimalPlaces(v) <= 2 })
+	})
+	add("frac_mult_5", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return isInt(v) && math.Mod(math.Abs(v), 5) == 0 })
+	})
+	add("frac_mult_10", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return isInt(v) && math.Mod(math.Abs(v), 10) == 0 })
+	})
+	add("frac_mult_100", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return isInt(v) && math.Mod(math.Abs(v), 100) == 0 })
+	})
+
+	// --- leading digit (Benford) distribution (11) ---
+	for d := 1; d <= 9; d++ {
+		d := d
+		add(fmt.Sprintf("lead_digit_%d", d), func(s *Summary) float64 {
+			return frac(s, func(v float64) bool { return leadingDigit(v) == d })
+		})
+	}
+	add("benford_chi2", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		var chi2 float64
+		for d := 1; d <= 9; d++ {
+			obs := frac(s, func(v float64) bool { return leadingDigit(v) == d })
+			exp := math.Log10(1 + 1/float64(d))
+			chi2 += (obs - exp) * (obs - exp) / exp
+		}
+		return clamp(chi2)
+	})
+	add("frac_no_lead_digit", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return leadingDigit(v) == 0 })
+	})
+
+	// --- digit-count histogram (10) ---
+	for d := 1; d <= 9; d++ {
+		d := d
+		add(fmt.Sprintf("digits_%d", d), func(s *Summary) float64 {
+			return frac(s, func(v float64) bool { return intDigits(v) == d })
+		})
+	}
+	add("digits_10plus", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return intDigits(v) >= 10 })
+	})
+
+	// --- sequence / sortedness (10) ---
+	add("frac_ascending_pairs", func(s *Summary) float64 { return pairFrac(s, func(a, b float64) bool { return b > a }) })
+	add("frac_descending_pairs", func(s *Summary) float64 { return pairFrac(s, func(a, b float64) bool { return b < a }) })
+	add("frac_equal_pairs", func(s *Summary) float64 { return pairFrac(s, func(a, b float64) bool { return b == a }) })
+	add("is_monotonic_inc", func(s *Summary) float64 {
+		return boolF(s.N > 1 && pairFrac(s, func(a, b float64) bool { return b >= a }) == 1)
+	})
+	add("is_monotonic_dec", func(s *Summary) float64 {
+		return boolF(s.N > 1 && pairFrac(s, func(a, b float64) bool { return b <= a }) == 1)
+	})
+	add("autocorr_lag1", func(s *Summary) float64 {
+		if s.N < 2 || s.Std == 0 {
+			return 0
+		}
+		var t float64
+		for i := 0; i+1 < s.N; i++ {
+			t += (s.Values[i] - s.Mean) * (s.Values[i+1] - s.Mean)
+		}
+		return clamp(t / (float64(s.N-1) * s.Var))
+	})
+	add("mean_abs_diff", func(s *Summary) float64 {
+		if s.N < 2 {
+			return 0
+		}
+		var t float64
+		for i := 0; i+1 < s.N; i++ {
+			t += math.Abs(s.Values[i+1] - s.Values[i])
+		}
+		return clamp(t / float64(s.N-1))
+	})
+	add("std_diff", func(s *Summary) float64 {
+		if s.N < 2 {
+			return 0
+		}
+		diffs := make([]float64, s.N-1)
+		for i := range diffs {
+			diffs[i] = s.Values[i+1] - s.Values[i]
+		}
+		_, std, _, _ := moments(diffs)
+		return clamp(std)
+	})
+	add("frac_constant_diff", func(s *Summary) float64 {
+		if s.N < 3 {
+			return 0
+		}
+		c := 0
+		for i := 0; i+2 < s.N; i++ {
+			if s.Values[i+1]-s.Values[i] == s.Values[i+2]-s.Values[i+1] {
+				c++
+			}
+		}
+		return float64(c) / float64(s.N-2)
+	})
+	add("direction_changes_ratio", func(s *Summary) float64 {
+		if s.N < 3 {
+			return 0
+		}
+		c := 0
+		for i := 0; i+2 < s.N; i++ {
+			d1, d2 := s.Values[i+1]-s.Values[i], s.Values[i+2]-s.Values[i+1]
+			if d1*d2 < 0 {
+				c++
+			}
+		}
+		return float64(c) / float64(s.N-2)
+	})
+
+	// --- outliers (6) ---
+	add("frac_beyond_1_5iqr", fracBeyondIQR(1.5))
+	add("frac_beyond_3iqr", fracBeyondIQR(3))
+	add("frac_beyond_2std", fracBeyondStd(2))
+	add("frac_beyond_3std", fracBeyondStd(3))
+	add("max_z", func(s *Summary) float64 { return clamp(safeDiv(s.Max-s.Mean, s.Std)) })
+	add("min_z", func(s *Summary) float64 { return clamp(safeDiv(s.Min-s.Mean, s.Std)) })
+
+	// --- entropy & concentration (8) ---
+	add("entropy_10bins", func(s *Summary) float64 { return binEntropy(s, 10) })
+	add("entropy_norm_10bins", func(s *Summary) float64 { return safeDiv(binEntropy(s, 10), math.Log(10)) })
+	add("value_entropy", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		var h float64
+		for _, c := range s.counts {
+			p := float64(c) / float64(s.N)
+			h -= p * math.Log(p)
+		}
+		return clamp(h)
+	})
+	add("value_entropy_norm", func(s *Summary) float64 {
+		if s.NUnique <= 1 {
+			return 0
+		}
+		var h float64
+		for _, c := range s.counts {
+			p := float64(c) / float64(s.N)
+			h -= p * math.Log(p)
+		}
+		return clamp(h / math.Log(float64(s.NUnique)))
+	})
+	add("gini", func(s *Summary) float64 {
+		// Gini over shifted-positive values.
+		if s.N == 0 {
+			return 0
+		}
+		shift := 0.0
+		if s.Min < 0 {
+			shift = -s.Min
+		}
+		var num, den float64
+		for i, v := range s.Sorted {
+			num += float64(2*(i+1)-s.N-1) * (v + shift)
+			den += v + shift
+		}
+		return clamp(safeDiv(num, float64(s.N)*den))
+	})
+	add("mode_frac", func(s *Summary) float64 {
+		mx := 0
+		for _, c := range s.counts {
+			if c > mx {
+				mx = c
+			}
+		}
+		return safeDiv(float64(mx), float64(s.N))
+	})
+	add("top1_share", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		var absSum float64
+		for _, v := range s.Values {
+			absSum += math.Abs(v)
+		}
+		return clamp(safeDiv(math.Max(math.Abs(s.Min), math.Abs(s.Max)), absSum))
+	})
+	add("uniform_ks", func(s *Summary) float64 {
+		// KS distance to Uniform(min,max)
+		if s.N == 0 || s.Max == s.Min {
+			return 0
+		}
+		var d float64
+		for i, v := range s.Sorted {
+			emp := float64(i+1) / float64(s.N)
+			th := (v - s.Min) / (s.Max - s.Min)
+			if dd := math.Abs(emp - th); dd > d {
+				d = dd
+			}
+		}
+		return d
+	})
+
+	// --- gap structure over sorted values (8) ---
+	add("mean_gap", gapStat(func(mean, std, mx, rng float64) float64 { return clamp(mean) }))
+	add("std_gap", gapStat(func(mean, std, mx, rng float64) float64 { return clamp(std) }))
+	add("cv_gap", gapStat(func(mean, std, mx, rng float64) float64 { return clamp(safeDiv(std, mean)) }))
+	add("max_gap_frac", gapStat(func(mean, std, mx, rng float64) float64 { return clamp(safeDiv(mx, rng)) }))
+	add("frac_duplicates", func(s *Summary) float64 {
+		return safeDiv(float64(s.N-s.NUnique), float64(s.N))
+	})
+	add("longest_run_frac", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		best, cur := 1, 1
+		for i := 1; i < s.N; i++ {
+			if s.Sorted[i] == s.Sorted[i-1] {
+				cur++
+				if cur > best {
+					best = cur
+				}
+			} else {
+				cur = 1
+			}
+		}
+		return float64(best) / float64(s.N)
+	})
+	add("distinct_gaps_ratio", func(s *Summary) float64 {
+		if s.N < 2 {
+			return 0
+		}
+		gaps := make(map[float64]struct{})
+		for i := 1; i < s.N; i++ {
+			gaps[s.Sorted[i]-s.Sorted[i-1]] = struct{}{}
+		}
+		return float64(len(gaps)) / float64(s.N-1)
+	})
+	add("min_gap_nonzero", func(s *Summary) float64 {
+		best := math.Inf(1)
+		for i := 1; i < s.N; i++ {
+			if g := s.Sorted[i] - s.Sorted[i-1]; g > 0 && g < best {
+				best = g
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0
+		}
+		return clamp(best)
+	})
+
+	// --- range-membership detectors (20) ---
+	addRange := func(name string, pred func(float64) bool) {
+		add("frac_"+name, func(s *Summary) float64 { return frac(s, pred) })
+	}
+	addRange("in_01", func(v float64) bool { return v >= 0 && v <= 1 })
+	addRange("in_0_100", func(v float64) bool { return v >= 0 && v <= 100 })
+	addRange("in_0_1k", func(v float64) bool { return v >= 0 && v <= 1000 })
+	addRange("in_0_1m", func(v float64) bool { return v >= 0 && v <= 1e6 })
+	addRange("year_like", func(v float64) bool { return isInt(v) && v >= 1900 && v <= 2100 })
+	addRange("month_like", func(v float64) bool { return isInt(v) && v >= 1 && v <= 12 })
+	addRange("day_like", func(v float64) bool { return isInt(v) && v >= 1 && v <= 31 })
+	addRange("hour_like", func(v float64) bool { return isInt(v) && v >= 0 && v <= 23 })
+	addRange("lat_like", func(v float64) bool { return v >= -90 && v <= 90 && !isInt(v) })
+	addRange("lon_like", func(v float64) bool { return v >= -180 && v <= 180 && !isInt(v) })
+	addRange("percent_like", func(v float64) bool { return v >= 0 && v <= 100 && !isInt(v) })
+	addRange("age_like", func(v float64) bool { return isInt(v) && v >= 0 && v <= 120 })
+	addRange("small_int", func(v float64) bool { return isInt(v) && v >= 0 && v <= 10 })
+	addRange("gt_1e6", func(v float64) bool { return math.Abs(v) > 1e6 })
+	addRange("lt_1_abs", func(v float64) bool { return math.Abs(v) < 1 })
+	add("all_in_01", func(s *Summary) float64 { return boolF(s.N > 0 && s.Min >= 0 && s.Max <= 1) })
+	add("all_positive", func(s *Summary) float64 { return boolF(s.N > 0 && s.Min > 0) })
+	add("all_nonneg", func(s *Summary) float64 { return boolF(s.N > 0 && s.Min >= 0) })
+	add("all_negative", func(s *Summary) float64 { return boolF(s.N > 0 && s.Max < 0) })
+	add("all_integer", func(s *Summary) float64 {
+		return boolF(s.N > 0 && frac(s, isInt) == 1)
+	})
+
+	// --- string-form features of the rendered values (10) ---
+	strStat := func(name string, fn func(lens []int, strs []string) float64) {
+		add(name, func(s *Summary) float64 {
+			strs := make([]string, s.N)
+			lens := make([]int, s.N)
+			for i, v := range s.Values {
+				strs[i] = strconv.FormatFloat(v, 'g', -1, 64)
+				lens[i] = len(strs[i])
+			}
+			return fn(lens, strs)
+		})
+	}
+	strStat("mean_str_len", func(lens []int, _ []string) float64 {
+		t := 0
+		for _, l := range lens {
+			t += l
+		}
+		return safeDiv(float64(t), float64(len(lens)))
+	})
+	strStat("max_str_len", func(lens []int, _ []string) float64 {
+		mx := 0
+		for _, l := range lens {
+			if l > mx {
+				mx = l
+			}
+		}
+		return float64(mx)
+	})
+	strStat("min_str_len", func(lens []int, _ []string) float64 {
+		if len(lens) == 0 {
+			return 0
+		}
+		mn := lens[0]
+		for _, l := range lens {
+			if l < mn {
+				mn = l
+			}
+		}
+		return float64(mn)
+	})
+	strStat("std_str_len", func(lens []int, _ []string) float64 {
+		xs := make([]float64, len(lens))
+		for i, l := range lens {
+			xs[i] = float64(l)
+		}
+		_, std, _, _ := moments(xs)
+		return std
+	})
+	strStat("distinct_str_len_ratio", func(lens []int, _ []string) float64 {
+		set := map[int]struct{}{}
+		for _, l := range lens {
+			set[l] = struct{}{}
+		}
+		return safeDiv(float64(len(set)), float64(len(lens)))
+	})
+	strStat("frac_contains_decimal", func(_ []int, strs []string) float64 {
+		c := 0
+		for _, s := range strs {
+			if strings.ContainsRune(s, '.') {
+				c++
+			}
+		}
+		return safeDiv(float64(c), float64(len(strs)))
+	})
+	strStat("frac_scientific", func(_ []int, strs []string) float64 {
+		c := 0
+		for _, s := range strs {
+			if strings.ContainsAny(s, "eE") {
+				c++
+			}
+		}
+		return safeDiv(float64(c), float64(len(strs)))
+	})
+	strStat("frac_minus_sign", func(_ []int, strs []string) float64 {
+		c := 0
+		for _, s := range strs {
+			if strings.HasPrefix(s, "-") {
+				c++
+			}
+		}
+		return safeDiv(float64(c), float64(len(strs)))
+	})
+	add("frac_trailing_zero_int", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool {
+			return isInt(v) && v != 0 && math.Mod(math.Abs(v), 10) == 0
+		})
+	})
+	add("mean_int_digits", func(s *Summary) float64 {
+		var t float64
+		for _, v := range s.Values {
+			t += float64(intDigits(v))
+		}
+		return safeDiv(t, float64(s.N))
+	})
+
+	// --- ratio / tail structure (8) ---
+	add("ratio_max_mean", func(s *Summary) float64 { return clamp(safeDiv(s.Max, s.Mean)) })
+	add("ratio_min_mean", func(s *Summary) float64 { return clamp(safeDiv(s.Min, s.Mean)) })
+	add("ratio_std_range", func(s *Summary) float64 { return clamp(safeDiv(s.Std, s.Max-s.Min)) })
+	add("frac_gt_mean", func(s *Summary) float64 {
+		m := s.Mean
+		return frac(s, func(v float64) bool { return v > m })
+	})
+	add("p95_over_p50", func(s *Summary) float64 { return clamp(safeDiv(s.Quantile(0.95), s.Quantile(0.5))) })
+	add("top5pct_share", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		k := s.N / 20
+		if k == 0 {
+			k = 1
+		}
+		var top, total float64
+		for _, v := range s.Sorted {
+			total += math.Abs(v)
+		}
+		for _, v := range s.Sorted[s.N-k:] {
+			top += math.Abs(v)
+		}
+		return clamp(safeDiv(top, total))
+	})
+	add("bottom5pct_share", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		k := s.N / 20
+		if k == 0 {
+			k = 1
+		}
+		var bot, total float64
+		for _, v := range s.Sorted {
+			total += math.Abs(v)
+		}
+		for _, v := range s.Sorted[:k] {
+			bot += math.Abs(v)
+		}
+		return clamp(safeDiv(bot, total))
+	})
+	add("heavy_tail_score", func(s *Summary) float64 {
+		// ratio of 99th-percentile deviation to IQR — large for heavy tails
+		return clamp(safeDiv(s.Quantile(0.99)-s.Quantile(0.5), s.Quantile(0.75)-s.Quantile(0.25)))
+	})
+
+	// --- positional / trend (5) ---
+	add("first_value_z", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		return clamp(safeDiv(s.Values[0]-s.Mean, s.Std))
+	})
+	add("last_value_z", func(s *Summary) float64 {
+		if s.N == 0 {
+			return 0
+		}
+		return clamp(safeDiv(s.Values[s.N-1]-s.Mean, s.Std))
+	})
+	add("linear_slope", func(s *Summary) float64 {
+		if s.N < 2 {
+			return 0
+		}
+		// least-squares slope of value against row index
+		nx := float64(s.N)
+		meanX := (nx - 1) / 2
+		var sxy, sxx float64
+		for i, v := range s.Values {
+			dx := float64(i) - meanX
+			sxy += dx * (v - s.Mean)
+			sxx += dx * dx
+		}
+		return clamp(safeDiv(sxy, sxx))
+	})
+	add("sign_changes_ratio", func(s *Summary) float64 {
+		if s.N < 2 {
+			return 0
+		}
+		c := 0
+		for i := 0; i+1 < s.N; i++ {
+			if s.Values[i]*s.Values[i+1] < 0 {
+				c++
+			}
+		}
+		return float64(c) / float64(s.N-1)
+	})
+	add("frac_abs_lt_eps", func(s *Summary) float64 {
+		return frac(s, func(v float64) bool { return math.Abs(v) < 1e-9 })
+	})
+
+	// --- normalized 10-bin histogram of the value range (10) ---
+	for b := 0; b < 10; b++ {
+		b := b
+		add(fmt.Sprintf("hist10_%d", b), func(s *Summary) float64 {
+			if s.N == 0 || s.Max == s.Min {
+				return 0
+			}
+			w := (s.Max - s.Min) / 10
+			c := 0
+			for _, v := range s.Values {
+				bin := int((v - s.Min) / w)
+				if bin >= 10 {
+					bin = 9
+				}
+				if bin == b {
+					c++
+				}
+			}
+			return float64(c) / float64(s.N)
+		})
+	}
+
+	// --- z-scored decile segment means (10) ---
+	for d := 0; d < 10; d++ {
+		d := d
+		add(fmt.Sprintf("decile_mean_z_%d", d), func(s *Summary) float64 {
+			if s.N == 0 || s.Std == 0 {
+				return 0
+			}
+			lo := d * s.N / 10
+			hi := (d + 1) * s.N / 10
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > s.N {
+				hi = s.N
+			}
+			var t float64
+			for _, v := range s.Sorted[lo:hi] {
+				t += v
+			}
+			return clamp((t/float64(hi-lo) - s.Mean) / s.Std)
+		})
+	}
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func pairFrac(s *Summary, pred func(a, b float64) bool) float64 {
+	if s.N < 2 {
+		return 0
+	}
+	c := 0
+	for i := 0; i+1 < s.N; i++ {
+		if pred(s.Values[i], s.Values[i+1]) {
+			c++
+		}
+	}
+	return float64(c) / float64(s.N-1)
+}
+
+func fracBeyondIQR(k float64) func(*Summary) float64 {
+	return func(s *Summary) float64 {
+		q1, q3 := s.Quantile(0.25), s.Quantile(0.75)
+		iqr := q3 - q1
+		lo, hi := q1-k*iqr, q3+k*iqr
+		return frac(s, func(v float64) bool { return v < lo || v > hi })
+	}
+}
+
+func fracBeyondStd(k float64) func(*Summary) float64 {
+	return func(s *Summary) float64 {
+		if s.Std == 0 {
+			return 0
+		}
+		lo, hi := s.Mean-k*s.Std, s.Mean+k*s.Std
+		return frac(s, func(v float64) bool { return v < lo || v > hi })
+	}
+}
+
+func gapStat(pick func(mean, std, mx, rng float64) float64) func(*Summary) float64 {
+	return func(s *Summary) float64 {
+		if s.N < 2 {
+			return 0
+		}
+		gaps := make([]float64, s.N-1)
+		mx := 0.0
+		for i := range gaps {
+			gaps[i] = s.Sorted[i+1] - s.Sorted[i]
+			if gaps[i] > mx {
+				mx = gaps[i]
+			}
+		}
+		mean, std, _, _ := moments(gaps)
+		return pick(mean, std, mx, s.Max-s.Min)
+	}
+}
+
+func binEntropy(s *Summary, bins int) float64 {
+	if s.N == 0 || s.Max == s.Min {
+		return 0
+	}
+	counts := make([]int, bins)
+	w := (s.Max - s.Min) / float64(bins)
+	for _, v := range s.Values {
+		b := int((v - s.Min) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(s.N)
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+func leadingDigit(v float64) int {
+	v = math.Abs(v)
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	for v >= 10 {
+		v /= 10
+	}
+	for v < 1 {
+		v *= 10
+	}
+	return int(v)
+}
+
+func intDigits(v float64) int {
+	a := math.Abs(math.Trunc(v))
+	if a < 1 {
+		return 0
+	}
+	d := 0
+	for a >= 1 {
+		a /= 10
+		d++
+	}
+	return d
+}
+
+func decimalPlaces(v float64) int {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return len(s) - i - 1
+	}
+	return 0
+}
+
+// Extract returns the Dim-long feature vector of values.
+func Extract(values []float64) []float64 {
+	s := Summarize(values)
+	out := make([]float64, len(registry))
+	for i, f := range registry {
+		out[i] = f.Fn(s)
+	}
+	return out
+}
+
+// ExtractNormalized returns the feature vector with each entry squashed via
+// sign(x)·log1p(|x|) — the normalization applied before the subnetwork so
+// raw magnitudes (e.g. max=1e6) don't dominate training.
+func ExtractNormalized(values []float64) []float64 {
+	out := Extract(values)
+	for i, v := range out {
+		out[i] = math.Copysign(math.Log1p(math.Abs(v)), v)
+	}
+	return out
+}

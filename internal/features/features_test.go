@@ -1,0 +1,342 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactly192Features(t *testing.T) {
+	if len(registry) != 192 {
+		t.Fatalf("registry has %d features, paper requires 192", len(registry))
+	}
+	if got := len(Extract([]float64{1, 2, 3})); got != Dim {
+		t.Fatalf("Extract returned %d values", got)
+	}
+	if got := len(Names()); got != Dim {
+		t.Fatalf("Names returned %d", got)
+	}
+}
+
+func TestFeatureNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if n == "" {
+			t.Fatal("empty feature name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func featureByName(t *testing.T, name string) func(*Summary) float64 {
+	t.Helper()
+	for _, f := range registry {
+		if f.Name == name {
+			return f.Fn
+		}
+	}
+	t.Fatalf("no feature %q", name)
+	return nil
+}
+
+func TestSummarizeBasicStats(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Var-2) > 1e-12 {
+		t.Fatalf("var = %v", s.Var)
+	}
+	if s.NUnique != 5 || s.NZero != 0 || s.NNeg != 0 || s.NPos != 5 {
+		t.Fatalf("counts: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary N != 0")
+	}
+	// every feature must be finite on empty input
+	for _, f := range registry {
+		v := f.Fn(s)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %q = %v on empty input", f.Name, v)
+		}
+	}
+}
+
+func TestSummarizeSingleValue(t *testing.T) {
+	s := Summarize([]float64{42})
+	for _, f := range registry {
+		v := f.Fn(s)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %q = %v on single value", f.Name, v)
+		}
+	}
+	if s.Std != 0 {
+		t.Fatal("single value must have zero std")
+	}
+}
+
+func TestSummarizeConstantColumn(t *testing.T) {
+	s := Summarize([]float64{7, 7, 7, 7})
+	if s.Std != 0 || s.NUnique != 1 {
+		t.Fatalf("constant column: std=%v unique=%d", s.Std, s.NUnique)
+	}
+	for _, f := range registry {
+		v := f.Fn(s)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %q = %v on constant column", f.Name, v)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("median of {0,10} = %v", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	rightSkewed := []float64{1, 1, 1, 1, 2, 2, 3, 10, 50}
+	s := Summarize(rightSkewed)
+	if s.Skew <= 0 {
+		t.Fatalf("right-skewed data has skew %v", s.Skew)
+	}
+}
+
+func TestIntegralityFeatures(t *testing.T) {
+	fn := featureByName(t, "frac_integer")
+	if got := fn(Summarize([]float64{1, 2, 3})); got != 1 {
+		t.Fatalf("frac_integer(ints) = %v", got)
+	}
+	if got := fn(Summarize([]float64{1.5, 2.5})); got != 0 {
+		t.Fatalf("frac_integer(halves) = %v", got)
+	}
+	half := featureByName(t, "frac_half_integer")
+	if got := half(Summarize([]float64{1.5, 2.5, 3})); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("frac_half_integer = %v", got)
+	}
+}
+
+func TestYearDetector(t *testing.T) {
+	fn := featureByName(t, "frac_year_like")
+	if got := fn(Summarize([]float64{1995, 2001, 2023})); got != 1 {
+		t.Fatalf("year detector on years = %v", got)
+	}
+	if got := fn(Summarize([]float64{7.5, 12.3})); got != 0 {
+		t.Fatalf("year detector on floats = %v", got)
+	}
+}
+
+func TestMonthDayDetectors(t *testing.T) {
+	month := featureByName(t, "frac_month_like")
+	if got := month(Summarize([]float64{1, 6, 12})); got != 1 {
+		t.Fatalf("month detector = %v", got)
+	}
+	if got := month(Summarize([]float64{13, 0})); got != 0 {
+		t.Fatalf("month detector out of range = %v", got)
+	}
+	day := featureByName(t, "frac_day_like")
+	if got := day(Summarize([]float64{1, 15, 31})); got != 1 {
+		t.Fatalf("day detector = %v", got)
+	}
+}
+
+func TestLeadingDigit(t *testing.T) {
+	cases := map[float64]int{123: 1, 0.05: 5, 9: 9, 0: 0, -42: 4, 1e9: 1}
+	for in, want := range cases {
+		if got := leadingDigit(in); got != want {
+			t.Errorf("leadingDigit(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestBenfordOnBenfordData(t *testing.T) {
+	// Values sampled log-uniformly follow Benford's law → low chi2.
+	rng := rand.New(rand.NewSource(1))
+	benford := make([]float64, 5000)
+	for i := range benford {
+		benford[i] = math.Pow(10, rng.Float64()*6)
+	}
+	uniform := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = 500 + rng.Float64()*99 // leading digit always 5
+	}
+	chi2 := featureByName(t, "benford_chi2")
+	b := chi2(Summarize(benford))
+	u := chi2(Summarize(uniform))
+	if b >= u {
+		t.Fatalf("benford chi2: benford=%v should be < concentrated=%v", b, u)
+	}
+}
+
+func TestSortednessFeatures(t *testing.T) {
+	asc := featureByName(t, "frac_ascending_pairs")
+	mono := featureByName(t, "is_monotonic_inc")
+	s := Summarize([]float64{1, 2, 3, 4})
+	if asc(s) != 1 || mono(s) != 1 {
+		t.Fatal("ascending sequence not detected")
+	}
+	s2 := Summarize([]float64{4, 3, 2, 1})
+	if asc(s2) != 0 || mono(s2) != 0 {
+		t.Fatal("descending sequence misdetected")
+	}
+	if featureByName(t, "is_monotonic_dec")(s2) != 1 {
+		t.Fatal("monotonic decreasing not detected")
+	}
+}
+
+func TestOutlierFeatures(t *testing.T) {
+	base := make([]float64, 99)
+	for i := range base {
+		base[i] = float64(i % 10)
+	}
+	withOutlier := append(append([]float64{}, base...), 1e6)
+	f := featureByName(t, "frac_beyond_3std")
+	if f(Summarize(base)) != 0 {
+		t.Fatal("clean data flagged outliers")
+	}
+	if f(Summarize(withOutlier)) == 0 {
+		t.Fatal("outlier missed")
+	}
+}
+
+func TestEntropyFeatures(t *testing.T) {
+	ent := featureByName(t, "value_entropy_norm")
+	uniform := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	constant := Summarize([]float64{5, 5, 5, 5})
+	if ent(uniform) < 0.99 {
+		t.Fatalf("uniform entropy = %v, want ≈1", ent(uniform))
+	}
+	if ent(constant) != 0 {
+		t.Fatalf("constant entropy = %v, want 0", ent(constant))
+	}
+}
+
+func TestModeFrac(t *testing.T) {
+	fn := featureByName(t, "mode_frac")
+	if got := fn(Summarize([]float64{1, 1, 1, 2})); got != 0.75 {
+		t.Fatalf("mode_frac = %v", got)
+	}
+}
+
+func TestHistogramSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 10
+	}
+	s := Summarize(vals)
+	var total float64
+	for b := 0; b < 10; b++ {
+		total += featureByName(t, "hist10_"+string(rune('0'+b)))(s)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("histogram sums to %v", total)
+	}
+}
+
+func TestDecimalPlaces(t *testing.T) {
+	cases := map[float64]int{1: 0, 1.5: 1, 3.25: 2, 100: 0}
+	for in, want := range cases {
+		if got := decimalPlaces(in); got != want {
+			t.Errorf("decimalPlaces(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestAllFeaturesFiniteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			switch rng.Intn(4) {
+			case 0:
+				vals[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)))
+			case 1:
+				vals[i] = float64(rng.Intn(1000))
+			case 2:
+				vals[i] = 0
+			default:
+				vals[i] = -rng.Float64()
+			}
+		}
+		for _, v := range Extract(vals) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractNormalizedBounded(t *testing.T) {
+	vals := []float64{1e12, -1e12, 5, 0}
+	for i, v := range ExtractNormalized(vals) {
+		if math.Abs(v) > 20 {
+			t.Fatalf("normalized feature %d (%s) = %v, too large", i, Names()[i], v)
+		}
+	}
+}
+
+func TestExtractDoesNotMutateInput(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Extract(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("Extract mutated its input")
+	}
+}
+
+func TestDistributionsDistinguishable(t *testing.T) {
+	// The reason V_ncf exists: same range, different shape must produce
+	// different feature vectors (paper §3.2).
+	rng := rand.New(rand.NewSource(3))
+	normal := make([]float64, 200)
+	uniform := make([]float64, 200)
+	for i := range normal {
+		normal[i] = 50 + 10*rng.NormFloat64()
+		uniform[i] = 20 + 60*rng.Float64()
+	}
+	a := Extract(normal)
+	b := Extract(uniform)
+	var dist float64
+	for i := range a {
+		d := a[i] - b[i]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 1 {
+		t.Fatalf("normal vs uniform distance = %v, expected clearly separated", math.Sqrt(dist))
+	}
+}
+
+func BenchmarkExtract200Values(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(vals)
+	}
+}

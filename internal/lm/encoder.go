@@ -1,0 +1,358 @@
+package lm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+// Config describes the frozen encoder. Dim plays the role of BERT's hidden
+// size (768 in the paper; we default to a smaller width — the architecture
+// is width-agnostic and the paper's 768 is a flag away).
+type Config struct {
+	Dim     int // hidden width of token states and output embeddings
+	Layers  int // transformer encoder layers
+	Heads   int // attention heads; must divide Dim
+	FFNDim  int // feed-forward inner width (default 2*Dim)
+	MaxLen  int // maximum sequence length incl. [CLS]/[SEP] (BERT: 512)
+	Buckets int // hashed subword embedding buckets
+	Seed    int64
+}
+
+// DefaultConfig returns the configuration used across tests and the
+// reduced-scale experiment harness.
+func DefaultConfig() Config {
+	return Config{Dim: 64, Layers: 2, Heads: 4, FFNDim: 128, MaxLen: 512, Buckets: 1 << 16, Seed: 20240325}
+}
+
+// PaperScaleConfig mirrors bert-base-uncased's geometry.
+func PaperScaleConfig() Config {
+	return Config{Dim: 768, Layers: 12, Heads: 12, FFNDim: 3072, MaxLen: 512, Buckets: 1 << 18, Seed: 20240325}
+}
+
+type layerWeights struct {
+	wq, wk, wv, wo *tensor.Matrix // Dim×Dim
+	ffn1           *tensor.Matrix // Dim×FFNDim
+	ffn1b          *tensor.Matrix // 1×FFNDim
+	ffn2           *tensor.Matrix // FFNDim×Dim
+	ffn2b          *tensor.Matrix // 1×Dim
+}
+
+// Encoder is the frozen pseudo-BERT. It is safe for concurrent use; the
+// embedding cache is internally synchronized.
+type Encoder struct {
+	cfg    Config
+	tok    *Tokenizer
+	layers []layerWeights
+	pos    *tensor.Matrix // MaxLen×Dim sinusoidal positions
+	cls    []float64      // dedicated [CLS] embedding
+	sep    []float64      // dedicated [SEP] embedding
+
+	mu        sync.Mutex
+	tokenVecs map[string][]float64 // hashed token embedding cache
+	textVecs  map[string][]float64 // full-text CLS cache
+}
+
+// NewEncoder builds the frozen encoder. All weights derive deterministically
+// from cfg.Seed, so two encoders with equal configs are functionally
+// identical ("the same pre-trained checkpoint").
+func NewEncoder(cfg Config) *Encoder {
+	if cfg.FFNDim == 0 {
+		cfg.FFNDim = 2 * cfg.Dim
+	}
+	if cfg.Heads == 0 || cfg.Dim%cfg.Heads != 0 {
+		panic("lm: Heads must divide Dim")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &Encoder{
+		cfg:       cfg,
+		tok:       NewTokenizer(),
+		tokenVecs: make(map[string][]float64),
+		textVecs:  make(map[string][]float64),
+	}
+	scaled := func(rows, cols int) *tensor.Matrix {
+		m := tensor.New(rows, cols)
+		std := 1 / math.Sqrt(float64(rows))
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64() * std
+		}
+		return m
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		e.layers = append(e.layers, layerWeights{
+			wq: scaled(cfg.Dim, cfg.Dim), wk: scaled(cfg.Dim, cfg.Dim),
+			wv: scaled(cfg.Dim, cfg.Dim), wo: scaled(cfg.Dim, cfg.Dim),
+			ffn1: scaled(cfg.Dim, cfg.FFNDim), ffn1b: tensor.New(1, cfg.FFNDim),
+			ffn2: scaled(cfg.FFNDim, cfg.Dim), ffn2b: tensor.New(1, cfg.Dim),
+		})
+	}
+	e.pos = sinusoidalPositions(cfg.MaxLen, cfg.Dim)
+	e.cls = randomUnit(rng, cfg.Dim)
+	e.sep = randomUnit(rng, cfg.Dim)
+	return e
+}
+
+// Config returns the encoder's configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// Dim returns the output embedding width.
+func (e *Encoder) Dim() int { return e.cfg.Dim }
+
+func randomUnit(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	var n float64
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		n += v[i] * v[i]
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+func sinusoidalPositions(maxLen, dim int) *tensor.Matrix {
+	p := tensor.New(maxLen, dim)
+	for pos := 0; pos < maxLen; pos++ {
+		row := p.Row(pos)
+		for i := 0; i < dim; i += 2 {
+			freq := math.Pow(10000, -float64(i)/float64(dim))
+			row[i] = math.Sin(float64(pos) * freq)
+			if i+1 < dim {
+				row[i+1] = math.Cos(float64(pos) * freq)
+			}
+		}
+	}
+	return p
+}
+
+// splitmix64 is the deterministic hash driving all "pre-trained" token
+// embeddings.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string, salt uint64) uint64 {
+	h := uint64(14695981039346656037) ^ splitmix64(salt)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// bucketVec deterministically generates the embedding for one hash bucket.
+func (e *Encoder) bucketVec(bucket uint64, out []float64, scale float64) {
+	state := splitmix64(bucket)
+	for i := range out {
+		state = splitmix64(state)
+		// map to approximately N(0,1) via sum of two uniforms (fast,
+		// deterministic, good enough for random features)
+		u1 := float64(state>>11) / (1 << 53)
+		state = splitmix64(state)
+		u2 := float64(state>>11) / (1 << 53)
+		out[i] += scale * (u1 + u2 - 1) * 3.46 // var(U+U-1)=1/6 → ·√12
+	}
+}
+
+// TokenEmbedding returns the frozen embedding of one token: the sum of its
+// whole-token hash vector and its character 3–5-gram hash vectors
+// (fastText-style), L2-normalized. Results are cached.
+func (e *Encoder) TokenEmbedding(token string) []float64 {
+	switch token {
+	case TokenCLS:
+		return e.cls
+	case TokenSEP:
+		return e.sep
+	}
+	e.mu.Lock()
+	if v, ok := e.tokenVecs[token]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+
+	dim := e.cfg.Dim
+	v := make([]float64, dim)
+	mask := uint64(e.cfg.Buckets - 1)
+	e.bucketVec(hashString(token, 1)&mask, v, 1)
+	padded := "<" + token + ">"
+	ngrams := 0
+	for n := 3; n <= 5; n++ {
+		for i := 0; i+n <= len(padded); i++ {
+			ngrams++
+		}
+	}
+	if ngrams > 0 {
+		scale := 1 / math.Sqrt(float64(ngrams))
+		for n := 3; n <= 5; n++ {
+			for i := 0; i+n <= len(padded); i++ {
+				e.bucketVec(hashString(padded[i:i+n], 2)&mask, v, scale)
+			}
+		}
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	e.mu.Lock()
+	e.tokenVecs[token] = v
+	e.mu.Unlock()
+	return v
+}
+
+// EncodeTokens runs the frozen transformer over a token sequence (already
+// including [CLS]/[SEP] as desired) and returns the final hidden state of
+// every token as a len(tokens)×Dim matrix. Sequences longer than MaxLen are
+// truncated — the same hard limit the paper discusses for Doduo.
+func (e *Encoder) EncodeTokens(tokens []string) *tensor.Matrix {
+	if len(tokens) > e.cfg.MaxLen {
+		tokens = tokens[:e.cfg.MaxLen]
+	}
+	n := len(tokens)
+	if n == 0 {
+		return tensor.New(0, e.cfg.Dim)
+	}
+	h := tensor.New(n, e.cfg.Dim)
+	for i, tok := range tokens {
+		emb := e.TokenEmbedding(tok)
+		row := h.Row(i)
+		copy(row, emb)
+		prow := e.pos.Row(i)
+		for j := range row {
+			row[j] += 0.1 * prow[j]
+		}
+	}
+	for _, lw := range e.layers {
+		h = e.encoderLayer(h, lw)
+	}
+	return h
+}
+
+// encoderLayer applies one frozen transformer block: multi-head
+// self-attention with residual + layernorm, then a GELU FFN with residual +
+// layernorm.
+func (e *Encoder) encoderLayer(h *tensor.Matrix, lw layerWeights) *tensor.Matrix {
+	n, dim := h.Rows, e.cfg.Dim
+	heads := e.cfg.Heads
+	hd := dim / heads
+
+	q := tensor.MatMul(h, lw.wq)
+	k := tensor.MatMul(h, lw.wk)
+	v := tensor.MatMul(h, lw.wv)
+
+	ctx := tensor.New(n, dim)
+	scale := 1 / math.Sqrt(float64(hd))
+	scores := make([]float64, n)
+	for hd0 := 0; hd0 < heads; hd0++ {
+		off := hd0 * hd
+		for i := 0; i < n; i++ {
+			qi := q.Row(i)[off : off+hd]
+			mx := math.Inf(-1)
+			for j := 0; j < n; j++ {
+				kj := k.Row(j)[off : off+hd]
+				var s float64
+				for d := 0; d < hd; d++ {
+					s += qi[d] * kj[d]
+				}
+				s *= scale
+				scores[j] = s
+				if s > mx {
+					mx = s
+				}
+			}
+			var z float64
+			for j := 0; j < n; j++ {
+				scores[j] = math.Exp(scores[j] - mx)
+				z += scores[j]
+			}
+			crow := ctx.Row(i)[off : off+hd]
+			for j := 0; j < n; j++ {
+				w := scores[j] / z
+				vj := v.Row(j)[off : off+hd]
+				for d := 0; d < hd; d++ {
+					crow[d] += w * vj[d]
+				}
+			}
+		}
+	}
+	attnOut := tensor.MatMul(ctx, lw.wo)
+	h1 := tensor.Add(h, attnOut)
+	layerNormInPlace(h1)
+
+	ffn := tensor.AddRowBroadcast(tensor.MatMul(h1, lw.ffn1), lw.ffn1b)
+	for i := range ffn.Data {
+		ffn.Data[i] = gelu(ffn.Data[i])
+	}
+	ffnOut := tensor.AddRowBroadcast(tensor.MatMul(ffn, lw.ffn2), lw.ffn2b)
+	h2 := tensor.Add(h1, ffnOut)
+	layerNormInPlace(h2)
+	return h2
+}
+
+func gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(0.7978845608*(x+0.044715*x*x*x)))
+}
+
+func layerNormInPlace(m *tensor.Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		var varr float64
+		for _, v := range row {
+			d := v - mean
+			varr += d * d
+		}
+		varr /= float64(len(row))
+		inv := 1 / math.Sqrt(varr+1e-6)
+		for j := range row {
+			row[j] = (row[j] - mean) * inv
+		}
+	}
+}
+
+// Encode returns the CLS vector of "[CLS] text [SEP]" — the paper's initial
+// node representation. Results are cached per distinct text.
+func (e *Encoder) Encode(text string) []float64 {
+	e.mu.Lock()
+	if v, ok := e.textVecs[text]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+
+	tokens := append([]string{TokenCLS}, e.tok.Tokenize(text)...)
+	tokens = append(tokens, TokenSEP)
+	states := e.EncodeTokens(tokens)
+	v := append([]float64(nil), states.Row(0)...)
+
+	e.mu.Lock()
+	// Bound the cache: corpora contain hundreds of thousands of distinct
+	// serializations during sweeps; cap memory rather than grow forever.
+	if len(e.textVecs) > 1<<17 {
+		e.textVecs = make(map[string][]float64)
+	}
+	e.textVecs[text] = v
+	e.mu.Unlock()
+	return v
+}
+
+// Tokenize exposes the encoder's tokenizer (Doduo's table serializer needs
+// token counts to respect the 512 budget).
+func (e *Encoder) Tokenize(text string) []string { return e.tok.Tokenize(text) }

@@ -1,0 +1,270 @@
+package lm
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("Hello, World!")
+	want := []string{"hello", "world"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeSpecialTokensPreserved(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("[CLS] abc [SEP]")
+	if got[0] != TokenCLS || got[len(got)-1] != TokenSEP {
+		t.Fatalf("special tokens lost: %v", got)
+	}
+}
+
+func TestTokenizeCamelAndSnake(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("pointsPerGame player_age")
+	want := []string{"points", "per", "game", "player", "age"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNumbersNormalized(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("7.5 1234 0.02")
+	want := []string{"<num7e0>", "<num1e3>", "<num0e0>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeMixedAlphanumeric(t *testing.T) {
+	tok := NewTokenizer()
+	got := tok.Tokenize("top10 NBA2023")
+	want := []string{"top", "<num1e1>", "nba", "<num2e3>"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndWhitespace(t *testing.T) {
+	tok := NewTokenizer()
+	if got := tok.Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+	if got := tok.Tokenize("   \t\n "); len(got) != 0 {
+		t.Fatalf("whitespace produced %v", got)
+	}
+}
+
+func TestTokenizeLongTokenTruncated(t *testing.T) {
+	tok := NewTokenizer()
+	long := strings.Repeat("a", 100)
+	got := tok.Tokenize(long)
+	if len(got) != 1 || len(got[0]) != tok.MaxTokenLen {
+		t.Fatalf("long token = %v", got)
+	}
+}
+
+func TestNormalizeNumberMagnitudes(t *testing.T) {
+	cases := map[string]string{
+		"0":       "<num0e0>",
+		"0.0":     "<num0e0>",
+		"5":       "<num5e0>",
+		"42":      "<num4e1>",
+		"999":     "<num9e2>",
+		"12345":   "<num1e4>",
+		"3.14159": "<num3e0>",
+	}
+	for in, want := range cases {
+		if got := normalizeNumber(in); got != want {
+			t.Errorf("normalizeNumber(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEncoderDeterministic(t *testing.T) {
+	e1 := NewEncoder(DefaultConfig())
+	e2 := NewEncoder(DefaultConfig())
+	a := e1.Encode("basketball player stats")
+	b := e2.Encode("basketball player stats")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two encoders with the same seed must produce identical embeddings")
+	}
+}
+
+func TestEncoderSeedChangesEmbedding(t *testing.T) {
+	cfg := DefaultConfig()
+	e1 := NewEncoder(cfg)
+	cfg.Seed++
+	e2 := NewEncoder(cfg)
+	a := e1.Encode("hello")
+	b := e2.Encode("hello")
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds must give different embeddings")
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	return dot / math.Sqrt(na*nb+1e-12)
+}
+
+func TestSimilarTextsCloserThanDissimilar(t *testing.T) {
+	// The load-bearing property of the frozen encoder: vocabulary overlap
+	// implies embedding similarity.
+	e := NewEncoder(DefaultConfig())
+	a := e.Encode("basketball player points per game")
+	b := e.Encode("basketball player assists per game")
+	c := e.Encode("quarterly revenue euros finance")
+	simAB := cosine(a, b)
+	simAC := cosine(a, c)
+	if simAB <= simAC {
+		t.Fatalf("overlapping texts (%.3f) must be closer than disjoint texts (%.3f)", simAB, simAC)
+	}
+}
+
+func TestSharedSubwordsIncreaseSimilarity(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	a := e.TokenEmbedding("basketball")
+	b := e.TokenEmbedding("basketballs") // shares most char n-grams
+	c := e.TokenEmbedding("xylophone")
+	if cosine(a, b) <= cosine(a, c) {
+		t.Fatalf("subword overlap should imply similarity: ab=%.3f ac=%.3f",
+			cosine(a, b), cosine(a, c))
+	}
+}
+
+func TestTokenEmbeddingUnitNorm(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	v := e.TokenEmbedding("revenue")
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+		t.Fatalf("token embedding norm = %v", math.Sqrt(n))
+	}
+}
+
+func TestEncodeDim(t *testing.T) {
+	cfg := DefaultConfig()
+	e := NewEncoder(cfg)
+	v := e.Encode("anything at all")
+	if len(v) != cfg.Dim {
+		t.Fatalf("Encode dim = %d, want %d", len(v), cfg.Dim)
+	}
+}
+
+func TestEncodeEmptyText(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	v := e.Encode("")
+	if len(v) != e.Dim() {
+		t.Fatal("empty text must still return a CLS vector")
+	}
+	for _, x := range v {
+		if math.IsNaN(x) {
+			t.Fatal("NaN in empty-text embedding")
+		}
+	}
+}
+
+func TestEncodeTokensTruncatesAtMaxLen(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxLen = 8
+	e := NewEncoder(cfg)
+	tokens := make([]string, 20)
+	for i := range tokens {
+		tokens[i] = "tok"
+	}
+	out := e.EncodeTokens(tokens)
+	if out.Rows != 8 {
+		t.Fatalf("EncodeTokens rows = %d, want 8 (MaxLen)", out.Rows)
+	}
+}
+
+func TestEncodeTokensEmpty(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	out := e.EncodeTokens(nil)
+	if out.Rows != 0 || out.Cols != e.Dim() {
+		t.Fatalf("empty EncodeTokens = %v", out)
+	}
+}
+
+func TestEncoderCacheConsistent(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	a := e.Encode("cached text")
+	b := e.Encode("cached text") // second call hits cache
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cache must return identical vector")
+	}
+}
+
+func TestEncoderNoNaNs(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	f := func(s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		v := e.Encode(s)
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderConcurrentUse(t *testing.T) {
+	e := NewEncoder(DefaultConfig())
+	done := make(chan []float64, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- e.Encode("concurrent access test") }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if got := <-done; !reflect.DeepEqual(got, first) {
+			t.Fatal("concurrent Encode results differ")
+		}
+	}
+}
+
+func TestHeadsMustDivideDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEncoder(Config{Dim: 10, Layers: 1, Heads: 3, MaxLen: 16, Buckets: 64, Seed: 1})
+}
+
+func TestPaperScaleConfigGeometry(t *testing.T) {
+	cfg := PaperScaleConfig()
+	if cfg.Dim != 768 || cfg.Layers != 12 || cfg.MaxLen != 512 {
+		t.Fatalf("paper-scale config = %+v", cfg)
+	}
+}
+
+func BenchmarkEncodeShortText(b *testing.B) {
+	e := NewEncoder(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// vary text to defeat the cache: measures real encode cost
+		e.textVecs = map[string][]float64{}
+		e.Encode("NBA player statistics 2023 season")
+	}
+}

@@ -1,0 +1,125 @@
+// Package lm provides the frozen text encoder that stands in for the
+// pre-trained BERT model of the paper.
+//
+// The paper freezes BERT and uses it purely as a feature extractor: the CLS
+// vector of a serialized column (or table name) becomes the initial node
+// representation of the GNN. This package reproduces that contract with a
+// deterministic "pseudo-BERT": a hashed-subword token embedder followed by a
+// small transformer encoder whose weights are drawn once from a fixed-seed
+// PRNG and never updated. Two texts that share vocabulary or character
+// structure map to nearby vectors — the only property of BERT the
+// Pythagoras architecture actually relies on (see DESIGN.md §2).
+package lm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Special token strings. They receive dedicated embeddings rather than
+// hashed-subword ones.
+const (
+	TokenCLS = "[CLS]"
+	TokenSEP = "[SEP]"
+	TokenPAD = "[PAD]"
+)
+
+// Tokenizer splits text into lowercase word and number tokens. It mirrors
+// the preprocessing of WordPiece-style tokenizers closely enough for the
+// hashed embedder: punctuation separates tokens, camelCase and snake_case
+// identifiers split into their parts, and numbers are normalized to a
+// coarse magnitude form so that value literals don't explode the token
+// space.
+type Tokenizer struct {
+	// MaxTokenLen truncates pathological tokens (e.g. base64 blobs).
+	MaxTokenLen int
+}
+
+// NewTokenizer returns a tokenizer with default settings.
+func NewTokenizer() *Tokenizer { return &Tokenizer{MaxTokenLen: 24} }
+
+// Tokenize splits text into tokens. Special tokens ([CLS], [SEP], [PAD])
+// embedded in the input are preserved as-is.
+func (t *Tokenizer) Tokenize(text string) []string {
+	var out []string
+	for _, field := range strings.Fields(text) {
+		if field == TokenCLS || field == TokenSEP || field == TokenPAD {
+			out = append(out, field)
+			continue
+		}
+		out = append(out, t.splitWord(field)...)
+	}
+	return out
+}
+
+// splitWord breaks one whitespace-delimited field into word/number tokens.
+func (t *Tokenizer) splitWord(s string) []string {
+	var out []string
+	var cur strings.Builder
+	var curKind rune // 'a' letters, 'd' digits, 0 none
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		if len(tok) > t.MaxTokenLen {
+			tok = tok[:t.MaxTokenLen]
+		}
+		if curKind == 'd' {
+			tok = normalizeNumber(tok)
+		}
+		out = append(out, tok)
+		cur.Reset()
+		curKind = 0
+	}
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			// camelCase boundary: previous rune lowercase, this uppercase.
+			if curKind == 'd' || (prevLower && unicode.IsUpper(r)) {
+				flush()
+			}
+			curKind = 'a'
+			prevLower = unicode.IsLower(r)
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			if curKind == 'a' {
+				flush()
+			}
+			curKind = 'd'
+			prevLower = false
+			cur.WriteRune(r)
+		case r == '.' && curKind == 'd':
+			// keep decimal points inside numbers
+			cur.WriteRune(r)
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return out
+}
+
+// normalizeNumber maps a digit literal to a coarse token that keeps the
+// leading digit and order of magnitude but discards the exact value:
+// "1234"→"<num1e3>", "7.5"→"<num7e0>", "0.02"→"<num0e0>". This bounds the
+// numeric token vocabulary while preserving the weak magnitude signal BERT
+// would see from digit strings.
+func normalizeNumber(s string) string {
+	intPart := s
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		intPart = s[:i]
+	}
+	intPart = strings.TrimLeft(intPart, "0")
+	if intPart == "" {
+		return "<num0e0>"
+	}
+	lead := intPart[0]
+	mag := len(intPart) - 1
+	if mag > 9 {
+		mag = 9
+	}
+	return "<num" + string(lead) + "e" + string(rune('0'+mag)) + ">"
+}

@@ -1,0 +1,451 @@
+// Package nn builds neural-network training machinery on top of the
+// autodiff tape: named parameter collections, initializers, dense layers,
+// optimizers (Adam, SGD), learning-rate schedules, gradient clipping, early
+// stopping, and gob-based persistence.
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	"github.com/sematype/pythagoras/internal/autodiff"
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+// Params is a named collection of trainable matrices. Names are stable keys
+// used by optimizers (per-parameter state) and persistence.
+type Params struct {
+	names []string
+	byKey map[string]*tensor.Matrix
+}
+
+// NewParams returns an empty parameter collection.
+func NewParams() *Params {
+	return &Params{byKey: make(map[string]*tensor.Matrix)}
+}
+
+// Add registers matrix m under name. Panics on duplicates — a duplicate
+// almost always means two layers were wired to the same key by mistake.
+func (p *Params) Add(name string, m *tensor.Matrix) *tensor.Matrix {
+	if _, ok := p.byKey[name]; ok {
+		panic(fmt.Sprintf("nn: duplicate parameter %q", name))
+	}
+	p.byKey[name] = m
+	p.names = append(p.names, name)
+	return m
+}
+
+// Get returns the parameter registered under name, or panics.
+func (p *Params) Get(name string) *tensor.Matrix {
+	m, ok := p.byKey[name]
+	if !ok {
+		panic(fmt.Sprintf("nn: unknown parameter %q", name))
+	}
+	return m
+}
+
+// Has reports whether name is registered.
+func (p *Params) Has(name string) bool { _, ok := p.byKey[name]; return ok }
+
+// Names returns parameter names in registration order.
+func (p *Params) Names() []string { return append([]string(nil), p.names...) }
+
+// Count returns the total number of scalar parameters.
+func (p *Params) Count() int {
+	n := 0
+	for _, m := range p.byKey {
+		n += len(m.Data)
+	}
+	return n
+}
+
+// CopyFrom copies values from src for every shared name with matching shape.
+// It returns the number of matrices copied.
+func (p *Params) CopyFrom(src *Params) int {
+	n := 0
+	for name, dst := range p.byKey {
+		if s, ok := src.byKey[name]; ok && s.SameShape(dst) {
+			copy(dst.Data, s.Data)
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a deep copy of all parameter values keyed by name.
+func (p *Params) Snapshot() map[string][]float64 {
+	out := make(map[string][]float64, len(p.byKey))
+	for name, m := range p.byKey {
+		out[name] = append([]float64(nil), m.Data...)
+	}
+	return out
+}
+
+// Restore copies a snapshot produced by Snapshot back into the parameters.
+func (p *Params) Restore(snap map[string][]float64) {
+	for name, data := range snap {
+		if m, ok := p.byKey[name]; ok && len(m.Data) == len(data) {
+			copy(m.Data, data)
+		}
+	}
+}
+
+// savedParam is the gob wire format for one parameter.
+type savedParam struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes all parameters to w in a stable (sorted-name) order.
+func (p *Params) Save(w io.Writer) error {
+	return p.EncodeGob(gob.NewEncoder(w))
+}
+
+// EncodeGob writes the parameters through an existing gob encoder, letting
+// callers interleave them with their own metadata on one stream.
+func (p *Params) EncodeGob(enc *gob.Encoder) error {
+	names := p.Names()
+	sort.Strings(names)
+	out := make([]savedParam, 0, len(names))
+	for _, n := range names {
+		m := p.byKey[n]
+		out = append(out, savedParam{Name: n, Rows: m.Rows, Cols: m.Cols, Data: m.Data})
+	}
+	return enc.Encode(out)
+}
+
+// Load reads parameters written by Save into this collection. Every saved
+// parameter must exist here with an identical shape.
+func (p *Params) Load(r io.Reader) error {
+	return p.DecodeGob(gob.NewDecoder(r))
+}
+
+// DecodeGob is the streaming counterpart of EncodeGob.
+func (p *Params) DecodeGob(dec *gob.Decoder) error {
+	var in []savedParam
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	for _, sp := range in {
+		m, ok := p.byKey[sp.Name]
+		if !ok {
+			return fmt.Errorf("nn: saved parameter %q not present in model", sp.Name)
+		}
+		if m.Rows != sp.Rows || m.Cols != sp.Cols {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, saved %dx%d",
+				sp.Name, m.Rows, m.Cols, sp.Rows, sp.Cols)
+		}
+		copy(m.Data, sp.Data)
+	}
+	return nil
+}
+
+// SaveFile / LoadFile are Save/Load against a path.
+func (p *Params) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Save(f)
+}
+
+func (p *Params) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Load(f)
+}
+
+// --- initializers ---
+
+// XavierInit fills m with Glorot-uniform values for a fanIn×fanOut layer.
+func XavierInit(m *tensor.Matrix, rng *rand.Rand) {
+	limit := math.Sqrt(6 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// HeInit fills m with Kaiming-normal values (for ReLU networks).
+func HeInit(m *tensor.Matrix, rng *rand.Rand) {
+	std := math.Sqrt(2 / float64(m.Rows))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// --- layers ---
+
+// Linear is a dense affine layer y = x·W + b.
+type Linear struct {
+	W, B *tensor.Matrix
+}
+
+// NewLinear creates a Xavier-initialized in×out layer and registers its
+// parameters under prefix+".w" / prefix+".b".
+func NewLinear(p *Params, prefix string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{W: tensor.New(in, out), B: tensor.New(1, out)}
+	XavierInit(l.W, rng)
+	p.Add(prefix+".w", l.W)
+	p.Add(prefix+".b", l.B)
+	return l
+}
+
+// Apply runs the layer on the tape.
+func (l *Linear) Apply(t *autodiff.Tape, x *autodiff.Var) *autodiff.Var {
+	return t.AddRow(t.MatMul(x, t.Param(l.W)), t.Param(l.B))
+}
+
+// MLP is a stack of Linear layers with ReLU between them (none after the
+// final layer) and optional dropout on hidden activations.
+type MLP struct {
+	Layers  []*Linear
+	Dropout float64
+}
+
+// NewMLP builds an MLP with the given layer widths, e.g. dims = [192, 300,
+// 96] gives 192→300→96 with one hidden ReLU.
+func NewMLP(p *Params, prefix string, dims []int, dropout float64, rng *rand.Rand) *MLP {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	m := &MLP{Dropout: dropout}
+	for i := 0; i+1 < len(dims); i++ {
+		m.Layers = append(m.Layers, NewLinear(p, fmt.Sprintf("%s.l%d", prefix, i), dims[i], dims[i+1], rng))
+	}
+	return m
+}
+
+// Apply runs the MLP on the tape. rng is used for dropout when training.
+func (m *MLP) Apply(t *autodiff.Tape, x *autodiff.Var, rng *rand.Rand, training bool) *autodiff.Var {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Apply(t, h)
+		if i+1 < len(m.Layers) {
+			h = t.ReLU(h)
+			h = t.Dropout(h, m.Dropout, rng, training)
+		}
+	}
+	return h
+}
+
+// --- gradient bookkeeping ---
+
+// GradSet collects the gradients produced by one backward pass, keyed by
+// parameter name. Because autodiff Vars wrap the parameter matrices without
+// copying, the model must register each Param Var per step; helpers below
+// handle the common pattern.
+type GradSet struct {
+	vars map[string]*autodiff.Var
+}
+
+// NewGradSet returns an empty gradient collection.
+func NewGradSet() *GradSet { return &GradSet{vars: make(map[string]*autodiff.Var)} }
+
+// Track records the autodiff Var bound to the named parameter this step.
+func (g *GradSet) Track(name string, v *autodiff.Var) *autodiff.Var {
+	g.vars[name] = v
+	return v
+}
+
+// Grad returns the gradient for name, or nil if the parameter did not
+// participate in this step's graph.
+func (g *GradSet) Grad(name string) *tensor.Matrix {
+	v, ok := g.vars[name]
+	if !ok || v.Grad == nil {
+		return nil
+	}
+	return v.Grad
+}
+
+// ClipByGlobalNorm rescales all tracked gradients so their joint L2 norm is
+// at most maxNorm. It returns the pre-clip norm.
+func (g *GradSet) ClipByGlobalNorm(maxNorm float64) float64 {
+	var total float64
+	for _, v := range g.vars {
+		if v.Grad == nil {
+			continue
+		}
+		for _, x := range v.Grad.Data {
+			total += x * x
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, v := range g.vars {
+			if v.Grad != nil {
+				v.Grad.ScaleInPlace(s)
+			}
+		}
+	}
+	return norm
+}
+
+// --- optimizers ---
+
+// Optimizer applies one update step given a parameter collection and the
+// step's gradients.
+type Optimizer interface {
+	Step(p *Params, grads *GradSet)
+	// SetLR overrides the base learning rate (used by schedulers).
+	SetLR(lr float64)
+	LR() float64
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	lr       float64
+	Momentum float64
+	velocity map[string][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum, velocity: make(map[string][]float64)}
+}
+
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+func (s *SGD) LR() float64      { return s.lr }
+
+// Step applies v = m·v - lr·g; p += v (or plain p -= lr·g when momentum=0).
+func (s *SGD) Step(p *Params, grads *GradSet) {
+	for _, name := range p.Names() {
+		g := grads.Grad(name)
+		if g == nil {
+			continue
+		}
+		w := p.Get(name)
+		if s.Momentum == 0 {
+			w.AddScaledInPlace(g, -s.lr)
+			continue
+		}
+		v := s.velocity[name]
+		if v == nil {
+			v = make([]float64, len(w.Data))
+			s.velocity[name] = v
+		}
+		for i := range v {
+			v[i] = s.Momentum*v[i] - s.lr*g.Data[i]
+			w.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction,
+// matching the paper's training configuration.
+type Adam struct {
+	lr, Beta1, Beta2, Eps float64
+	WeightDecay           float64 // decoupled (AdamW-style); 0 disables
+	t                     int
+	m, v                  map[string][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[string][]float64), v: make(map[string][]float64),
+	}
+}
+
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+func (a *Adam) LR() float64      { return a.lr }
+
+// Step applies one Adam update to every parameter that has a gradient.
+func (a *Adam) Step(p *Params, grads *GradSet) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, name := range p.Names() {
+		g := grads.Grad(name)
+		if g == nil {
+			continue
+		}
+		w := p.Get(name)
+		m := a.m[name]
+		v := a.v[name]
+		if m == nil {
+			m = make([]float64, len(w.Data))
+			v = make([]float64, len(w.Data))
+			a.m[name] = m
+			a.v[name] = v
+		}
+		for i, gi := range g.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			w.Data[i] -= a.lr * (mhat/(math.Sqrt(vhat)+a.Eps) + a.WeightDecay*w.Data[i])
+		}
+	}
+}
+
+// --- schedules ---
+
+// LinearDecay returns the learning rate for the given step out of total,
+// decaying linearly from base to 0 with no warm-up (paper §4.2).
+func LinearDecay(base float64, step, total int) float64 {
+	if total <= 0 {
+		return base
+	}
+	f := 1 - float64(step)/float64(total)
+	if f < 0 {
+		f = 0
+	}
+	return base * f
+}
+
+// --- early stopping ---
+
+// EarlyStopper tracks a validation metric (higher is better) and signals
+// when patience epochs pass without improvement. It keeps the snapshot of
+// the best parameters seen, mirroring the paper's "load the checkpoint with
+// the highest validation F1" protocol.
+type EarlyStopper struct {
+	Patience  int
+	best      float64
+	bestEpoch int
+	snapshot  map[string][]float64
+	seen      int
+}
+
+// NewEarlyStopper returns a stopper with the given patience (epochs).
+func NewEarlyStopper(patience int) *EarlyStopper {
+	return &EarlyStopper{Patience: patience, best: math.Inf(-1), bestEpoch: -1}
+}
+
+// Observe records the metric for an epoch. It returns true when training
+// should stop.
+func (e *EarlyStopper) Observe(epoch int, metric float64, p *Params) bool {
+	e.seen++
+	if metric > e.best {
+		e.best = metric
+		e.bestEpoch = epoch
+		e.snapshot = p.Snapshot()
+		return false
+	}
+	return epoch-e.bestEpoch >= e.Patience
+}
+
+// Best returns the best metric value and the epoch it occurred at.
+func (e *EarlyStopper) Best() (float64, int) { return e.best, e.bestEpoch }
+
+// RestoreBest loads the best snapshot back into p. It reports whether a
+// snapshot existed.
+func (e *EarlyStopper) RestoreBest(p *Params) bool {
+	if e.snapshot == nil {
+		return false
+	}
+	p.Restore(e.snapshot)
+	return true
+}

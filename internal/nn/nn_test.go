@@ -1,0 +1,425 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"github.com/sematype/pythagoras/internal/autodiff"
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+func TestParamsAddGet(t *testing.T) {
+	p := NewParams()
+	m := tensor.New(2, 3)
+	p.Add("a", m)
+	if p.Get("a") != m {
+		t.Fatal("Get must return the registered matrix")
+	}
+	if !p.Has("a") || p.Has("b") {
+		t.Fatal("Has wrong")
+	}
+	if p.Count() != 6 {
+		t.Fatalf("Count = %d", p.Count())
+	}
+}
+
+func TestParamsDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewParams()
+	p.Add("a", tensor.New(1, 1))
+	p.Add("a", tensor.New(1, 1))
+}
+
+func TestParamsSnapshotRestore(t *testing.T) {
+	p := NewParams()
+	m := p.Add("w", tensor.FromSlice(1, 2, []float64{1, 2}))
+	snap := p.Snapshot()
+	m.Data[0] = 99
+	p.Restore(snap)
+	if m.Data[0] != 1 {
+		t.Fatal("Restore failed")
+	}
+}
+
+func TestParamsSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p1 := NewParams()
+	w := p1.Add("layer.w", tensor.New(3, 4))
+	XavierInit(w, rng)
+	b := p1.Add("layer.b", tensor.FromSlice(1, 4, []float64{1, 2, 3, 4}))
+
+	var buf bytes.Buffer
+	if err := p1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewParams()
+	p2.Add("layer.w", tensor.New(3, 4))
+	p2.Add("layer.b", tensor.New(1, 4))
+	if err := p2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(p2.Get("layer.w"), w, 0) || !tensor.Equal(p2.Get("layer.b"), b, 0) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestParamsLoadShapeMismatch(t *testing.T) {
+	p1 := NewParams()
+	p1.Add("w", tensor.New(2, 2))
+	var buf bytes.Buffer
+	if err := p1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewParams()
+	p2.Add("w", tensor.New(3, 3))
+	if err := p2.Load(&buf); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestParamsLoadUnknownName(t *testing.T) {
+	p1 := NewParams()
+	p1.Add("w", tensor.New(1, 1))
+	var buf bytes.Buffer
+	if err := p1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewParams()
+	if err := p2.Load(&buf); err == nil {
+		t.Fatal("expected unknown-name error")
+	}
+}
+
+func TestXavierHeInitRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := tensor.New(100, 100)
+	XavierInit(m, rng)
+	limit := math.Sqrt(6.0 / 200.0)
+	for _, v := range m.Data {
+		if math.Abs(v) > limit {
+			t.Fatalf("xavier value %v beyond limit %v", v, limit)
+		}
+	}
+	HeInit(m, rng)
+	var s, s2 float64
+	for _, v := range m.Data {
+		s += v
+		s2 += v * v
+	}
+	n := float64(len(m.Data))
+	std := math.Sqrt(s2/n - (s/n)*(s/n))
+	want := math.Sqrt(2.0 / 100.0)
+	if math.Abs(std-want) > want*0.1 {
+		t.Fatalf("He std = %v, want ≈%v", std, want)
+	}
+}
+
+func TestLinearApplyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewParams()
+	l := NewLinear(p, "fc", 5, 3, rng)
+	tape := autodiff.NewTape()
+	x := tape.Constant(tensor.New(4, 5))
+	y := l.Apply(tape, x)
+	if r, c := y.Shape(); r != 4 || c != 3 {
+		t.Fatalf("Linear out %dx%d", r, c)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	// The classic sanity check for the whole stack: a 2-8-2 MLP trained
+	// with Adam must solve XOR.
+	rng := rand.New(rand.NewSource(4))
+	p := NewParams()
+	mlp := NewMLP(p, "mlp", []int{2, 8, 2}, 0, rng)
+	opt := NewAdam(0.05)
+	x := tensor.FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	labels := []int{0, 1, 1, 0}
+
+	var loss float64
+	for epoch := 0; epoch < 400; epoch++ {
+		tape := autodiff.NewTape()
+		grads := NewGradSet()
+		// Bind parameters to this step's tape.
+		bound := bindMLP(tape, grads, mlp)
+		out := applyBound(tape, bound, tape.Constant(x), rng, true)
+		l := tape.SoftmaxCrossEntropy(out, labels, nil)
+		tape.Backward(l)
+		opt.Step(p, grads)
+		loss = l.Value.Data[0]
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR loss after training = %v", loss)
+	}
+	// verify predictions
+	tape := autodiff.NewTape()
+	out := mlp.Apply(tape, tape.Constant(x), rng, false)
+	for i, want := range labels {
+		if got := out.Value.ArgMaxRow(i); got != want {
+			t.Fatalf("XOR row %d predicted %d want %d", i, got, want)
+		}
+	}
+}
+
+// bindMLP registers each layer's parameters on the tape and tracks grads.
+func bindMLP(tape *autodiff.Tape, grads *GradSet, m *MLP) [][2]*autodiff.Var {
+	var bound [][2]*autodiff.Var
+	for i, l := range m.Layers {
+		w := grads.Track(layerName(i, "w"), tape.Param(l.W))
+		b := grads.Track(layerName(i, "b"), tape.Param(l.B))
+		bound = append(bound, [2]*autodiff.Var{w, b})
+	}
+	return bound
+}
+
+func layerName(i int, suffix string) string {
+	return "mlp.l" + string(rune('0'+i)) + "." + suffix
+}
+
+func applyBound(tape *autodiff.Tape, bound [][2]*autodiff.Var, x *autodiff.Var, rng *rand.Rand, training bool) *autodiff.Var {
+	h := x
+	for i, wb := range bound {
+		h = tape.AddRow(tape.MatMul(h, wb[0]), wb[1])
+		if i+1 < len(bound) {
+			h = tape.ReLU(h)
+		}
+	}
+	return h
+}
+
+func TestSGDMatchesManualUpdate(t *testing.T) {
+	p := NewParams()
+	w := p.Add("w", tensor.FromSlice(1, 2, []float64{1, 2}))
+	tape := autodiff.NewTape()
+	grads := NewGradSet()
+	v := grads.Track("w", tape.Param(w))
+	loss := tape.L2Penalty(v, 1) // grad = w
+	tape.Backward(loss)
+	NewSGD(0.1, 0).Step(p, grads)
+	want := tensor.FromSlice(1, 2, []float64{0.9, 1.8})
+	if !tensor.Equal(w, want, 1e-12) {
+		t.Fatalf("SGD update = %v", w.Data)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := NewParams()
+	w := p.Add("w", tensor.FromSlice(1, 1, []float64{0}))
+	opt := NewSGD(1, 0.9)
+	for i := 0; i < 2; i++ {
+		tape := autodiff.NewTape()
+		grads := NewGradSet()
+		v := grads.Track("w", tape.Param(w))
+		// constant gradient of 1 via loss = w
+		one := tape.Constant(tensor.FromSlice(1, 1, []float64{1}))
+		loss := tape.Mul(v, one)
+		tape.Backward(loss)
+		opt.Step(p, grads)
+	}
+	// step1: v=-1, w=-1; step2: v=-1.9, w=-2.9
+	if math.Abs(w.Data[0]-(-2.9)) > 1e-12 {
+		t.Fatalf("momentum w = %v, want -2.9", w.Data[0])
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, the first Adam step moves each weight by
+	// ≈lr·sign(grad) regardless of gradient scale.
+	p := NewParams()
+	w := p.Add("w", tensor.FromSlice(1, 2, []float64{0, 0}))
+	opt := NewAdam(0.01)
+	tape := autodiff.NewTape()
+	grads := NewGradSet()
+	v := grads.Track("w", tape.Param(w))
+	c := tape.Constant(tensor.FromSlice(1, 2, []float64{3, -7}))
+	loss := tape.SumRows(tape.Mul(v, c)) // 1x2 -> need scalar
+	scalar := tape.MatMul(loss, tape.Constant(tensor.FromSlice(2, 1, []float64{1, 1})))
+	tape.Backward(scalar)
+	opt.Step(p, grads)
+	if math.Abs(w.Data[0]+0.01) > 1e-6 || math.Abs(w.Data[1]-0.01) > 1e-6 {
+		t.Fatalf("adam first step = %v, want ±0.01", w.Data)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// minimize ||w - target||^2
+	target := []float64{3, -2, 0.5}
+	p := NewParams()
+	w := p.Add("w", tensor.New(1, 3))
+	opt := NewAdam(0.05)
+	for i := 0; i < 500; i++ {
+		tape := autodiff.NewTape()
+		grads := NewGradSet()
+		v := grads.Track("w", tape.Param(w))
+		diff := tape.Add(v, tape.Constant(tensor.FromSlice(1, 3, []float64{-target[0], -target[1], -target[2]})))
+		loss := tape.L2Penalty(diff, 2)
+		tape.Backward(loss)
+		opt.Step(p, grads)
+	}
+	for i, want := range target {
+		if math.Abs(w.Data[i]-want) > 1e-2 {
+			t.Fatalf("adam quadratic w[%d] = %v want %v", i, w.Data[i], want)
+		}
+	}
+}
+
+func TestGradSetClipByGlobalNorm(t *testing.T) {
+	tape := autodiff.NewTape()
+	grads := NewGradSet()
+	w := tensor.FromSlice(1, 2, []float64{0, 0})
+	v := grads.Track("w", tape.Param(w))
+	c := tape.Constant(tensor.FromSlice(1, 2, []float64{3, 4}))
+	loss := tape.MatMul(tape.Mul(v, c), tape.Constant(tensor.FromSlice(2, 1, []float64{1, 1})))
+	tape.Backward(loss)
+	pre := grads.ClipByGlobalNorm(1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v, want 5", pre)
+	}
+	g := grads.Grad("w")
+	if math.Abs(math.Hypot(g.Data[0], g.Data[1])-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v, want 1", math.Hypot(g.Data[0], g.Data[1]))
+	}
+}
+
+func TestLinearDecaySchedule(t *testing.T) {
+	if got := LinearDecay(1, 0, 10); got != 1 {
+		t.Fatalf("step0 = %v", got)
+	}
+	if got := LinearDecay(1, 5, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("step5 = %v", got)
+	}
+	if got := LinearDecay(1, 20, 10); got != 0 {
+		t.Fatalf("beyond total = %v", got)
+	}
+	if got := LinearDecay(0.3, 0, 0); got != 0.3 {
+		t.Fatalf("total=0 should return base, got %v", got)
+	}
+}
+
+func TestLinearDecayMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s1, s2 := int(a%100), int(b%100)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		return LinearDecay(1, s1, 100) >= LinearDecay(1, s2, 100)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEarlyStopperStopsAndRestores(t *testing.T) {
+	p := NewParams()
+	w := p.Add("w", tensor.FromSlice(1, 1, []float64{0}))
+	es := NewEarlyStopper(2)
+
+	w.Data[0] = 1
+	if es.Observe(0, 0.5, p) {
+		t.Fatal("should not stop on first epoch")
+	}
+	w.Data[0] = 2
+	if es.Observe(1, 0.8, p) { // improvement
+		t.Fatal("should not stop on improvement")
+	}
+	w.Data[0] = 3
+	if es.Observe(2, 0.7, p) {
+		t.Fatal("patience 2: first bad epoch should not stop")
+	}
+	w.Data[0] = 4
+	if !es.Observe(3, 0.6, p) {
+		t.Fatal("second bad epoch should stop")
+	}
+	best, epoch := es.Best()
+	if best != 0.8 || epoch != 1 {
+		t.Fatalf("Best = %v @ %d", best, epoch)
+	}
+	if !es.RestoreBest(p) || w.Data[0] != 2 {
+		t.Fatalf("RestoreBest → w=%v, want 2", w.Data[0])
+	}
+}
+
+func TestEarlyStopperNoSnapshotRestore(t *testing.T) {
+	es := NewEarlyStopper(1)
+	if es.RestoreBest(NewParams()) {
+		t.Fatal("RestoreBest with no observations must return false")
+	}
+}
+
+func TestParamsCopyFrom(t *testing.T) {
+	a := NewParams()
+	a.Add("x", tensor.FromSlice(1, 2, []float64{1, 2}))
+	a.Add("y", tensor.FromSlice(1, 1, []float64{3}))
+	b := NewParams()
+	bx := b.Add("x", tensor.New(1, 2))
+	b.Add("z", tensor.New(1, 1))
+	if n := b.CopyFrom(a); n != 1 {
+		t.Fatalf("CopyFrom copied %d, want 1", n)
+	}
+	if bx.Data[1] != 2 {
+		t.Fatal("CopyFrom did not copy values")
+	}
+}
+
+func TestParamsSaveLoadFileRoundTrip(t *testing.T) {
+	// Regression: gob decoders over non-ByteReader streams (files) buffer
+	// past message boundaries; Save/Load must survive a real file.
+	rng := rand.New(rand.NewSource(5))
+	p1 := NewParams()
+	w := p1.Add("w", tensor.New(4, 4))
+	XavierInit(w, rng)
+	path := filepath.Join(t.TempDir(), "params.bin")
+	if err := p1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewParams()
+	p2.Add("w", tensor.New(4, 4))
+	if err := p2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(p2.Get("w"), w, 0) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestParamsEncodeDecodeGobSharedStream(t *testing.T) {
+	// Metadata and parameters interleaved on ONE gob stream — the model
+	// persistence pattern.
+	rng := rand.New(rand.NewSource(6))
+	p1 := NewParams()
+	w := p1.Add("w", tensor.New(2, 3))
+	XavierInit(w, rng)
+
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode("metadata-before-params"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.EncodeGob(enc); err != nil {
+		t.Fatal(err)
+	}
+
+	dec := gob.NewDecoder(&buf)
+	var meta string
+	if err := dec.Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewParams()
+	p2.Add("w", tensor.New(2, 3))
+	if err := p2.DecodeGob(dec); err != nil {
+		t.Fatal(err)
+	}
+	if meta != "metadata-before-params" || !tensor.Equal(p2.Get("w"), w, 0) {
+		t.Fatal("shared-stream round trip mismatch")
+	}
+}

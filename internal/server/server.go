@@ -1,0 +1,285 @@
+// Package server exposes a trained Pythagoras model and a discovery index
+// over HTTP — the integration surface for data-catalog and lake-management
+// tools. Endpoints:
+//
+//	POST /v1/predict   {name, columns:[{header, values:[...]}]}
+//	                   → per-column semantic types with confidences
+//	POST /v1/index     same body; additionally adds the table to the
+//	                   discovery index (requires id)
+//	GET  /v1/search?type=a&type=b
+//	                   → tables containing all queried types
+//	GET  /v1/join?type=a[&limit=n]
+//	                   → join candidates: table pairs sharing a typed column
+//	GET  /v1/union?table=id[&k=n]
+//	                   → union candidates ranked by semantic-type overlap
+//	GET  /v1/types     → indexed semantic types
+//	GET  /v1/healthz   → liveness + model/vocabulary info
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/discovery"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// Server wires the model and index into an http.Handler.
+type Server struct {
+	model *core.Model
+	index *discovery.TypeIndex
+	mux   *http.ServeMux
+}
+
+// New builds a server around a trained model. minConfidence filters what
+// enters the discovery index.
+func New(m *core.Model, minConfidence float64) *Server {
+	s := &Server{
+		model: m,
+		index: discovery.NewTypeIndex(minConfidence),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/index", s.handleIndex)
+	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/join", s.handleJoin)
+	s.mux.HandleFunc("GET /v1/union", s.handleUnion)
+	s.mux.HandleFunc("GET /v1/types", s.handleTypes)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Index exposes the underlying discovery index.
+func (s *Server) Index() *discovery.TypeIndex { return s.index }
+
+// --- wire types ---
+
+// ColumnRequest is one column of a prediction request. Values are sent as
+// strings; numeric columns are detected the same way the CSV loader does.
+type ColumnRequest struct {
+	Header string   `json:"header"`
+	Values []string `json:"values"`
+}
+
+// TableRequest is the body of /v1/predict and /v1/index.
+type TableRequest struct {
+	ID      string          `json:"id,omitempty"`
+	Name    string          `json:"name"`
+	Columns []ColumnRequest `json:"columns"`
+}
+
+// ColumnResponse is one predicted column.
+type ColumnResponse struct {
+	Header     string  `json:"header"`
+	Kind       string  `json:"kind"`
+	Type       string  `json:"type"`
+	Confidence float64 `json:"confidence"`
+}
+
+// PredictResponse is the body returned by /v1/predict and /v1/index.
+type PredictResponse struct {
+	Table   string           `json:"table"`
+	Columns []ColumnResponse `json:"columns"`
+	Indexed bool             `json:"indexed,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// toTable converts a request into the internal table model, inferring
+// column kinds from the values.
+func (tr *TableRequest) toTable() (*table.Table, error) {
+	if len(tr.Columns) == 0 {
+		return nil, fmt.Errorf("table needs at least one column")
+	}
+	t := &table.Table{Name: tr.Name, ID: tr.ID}
+	if t.Name == "" {
+		t.Name = "untitled"
+	}
+	if t.ID == "" {
+		t.ID = "adhoc"
+	}
+	rows := len(tr.Columns[0].Values)
+	for i, c := range tr.Columns {
+		if len(c.Values) != rows {
+			return nil, fmt.Errorf("column %d has %d values, want %d", i, len(c.Values), rows)
+		}
+		col := &table.Column{Header: c.Header}
+		numeric := len(c.Values) > 0
+		nums := make([]float64, 0, len(c.Values))
+		for _, v := range c.Values {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			nums = append(nums, f)
+		}
+		if numeric {
+			col.Kind = table.KindNumeric
+			col.NumValues = nums
+		} else {
+			col.Kind = table.KindText
+			col.TextValues = c.Values
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+func (s *Server) predict(tr *TableRequest) (*table.Table, *PredictResponse, error) {
+	t, err := tr.toTable()
+	if err != nil {
+		return nil, nil, err
+	}
+	resp := &PredictResponse{Table: t.ID}
+	for _, p := range s.model.PredictTable(t) {
+		resp.Columns = append(resp.Columns, ColumnResponse{
+			Header: p.Header, Kind: p.Kind.String(), Type: p.Type, Confidence: p.Confidence,
+		})
+	}
+	return t, resp, nil
+}
+
+func decodeTableRequest(w http.ResponseWriter, r *http.Request) (*TableRequest, bool) {
+	var tr TableRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return nil, false
+	}
+	return &tr, true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	tr, ok := decodeTableRequest(w, r)
+	if !ok {
+		return
+	}
+	_, resp, err := s.predict(tr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	tr, ok := decodeTableRequest(w, r)
+	if !ok {
+		return
+	}
+	if tr.ID == "" {
+		writeErr(w, http.StatusBadRequest, "indexing requires a table id")
+		return
+	}
+	t, resp, err := s.predict(tr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.index.AddTable(s.model, t)
+	resp.Indexed = true
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SearchResponse is the body of /v1/search.
+type SearchResponse struct {
+	Types  []string `json:"types"`
+	Tables []string `json:"tables"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	types := r.URL.Query()["type"]
+	if len(types) == 0 {
+		writeErr(w, http.StatusBadRequest, "at least one ?type= parameter required")
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{
+		Types:  types,
+		Tables: s.index.TablesWithAll(types...),
+	})
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"indexed":    s.index.Types(),
+		"vocabulary": len(s.model.Types()),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.index.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"types":          len(s.model.Types()),
+		"indexed_tables": st.Tables,
+		"indexed_cols":   st.Columns,
+	})
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	st := r.URL.Query().Get("type")
+	if st == "" {
+		writeErr(w, http.StatusBadRequest, "?type= parameter required")
+		return
+	}
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid limit %q", q)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"type":       st,
+		"candidates": s.index.JoinCandidates(st, limit),
+	})
+}
+
+func (s *Server) handleUnion(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("table")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, "?table= parameter required")
+		return
+	}
+	k := 10
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid k %q", q)
+			return
+		}
+		k = n
+	}
+	cands, err := s.index.UnionCandidates(id, k)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":      id,
+		"candidates": cands,
+	})
+}

@@ -1,0 +1,184 @@
+package table
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the table as a standard CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	headers := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		headers[i] = c.Header
+	}
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	rows := t.NumRows()
+	rec := make([]string, len(t.Columns))
+	for r := 0; r < rows; r++ {
+		for i, c := range t.Columns {
+			if c.Kind == KindNumeric {
+				rec[i] = FormatNumber(c.NumValues[r])
+			} else {
+				rec[i] = c.TextValues[r]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV (first row = headers) into a Table, inferring the
+// kind of each column: a column is numeric when every non-empty cell parses
+// as a float and at least one cell is non-empty.
+func ReadCSV(name, id string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv %q: %w", id, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: csv %q is empty", id)
+	}
+	headers := records[0]
+	t := &Table{Name: name, ID: id}
+	for j, h := range headers {
+		col := &Column{Header: h}
+		numeric := true
+		nonEmpty := 0
+		var nums []float64
+		var texts []string
+		for _, rec := range records[1:] {
+			cell := ""
+			if j < len(rec) {
+				cell = strings.TrimSpace(rec[j])
+			}
+			texts = append(texts, cell)
+			if cell == "" {
+				nums = append(nums, 0)
+				continue
+			}
+			nonEmpty++
+			v, perr := strconv.ParseFloat(strings.ReplaceAll(cell, ",", ""), 64)
+			if perr != nil {
+				numeric = false
+			} else {
+				nums = append(nums, v)
+			}
+		}
+		if numeric && nonEmpty > 0 {
+			col.Kind = KindNumeric
+			col.NumValues = nums
+		} else {
+			col.Kind = KindText
+			col.TextValues = texts
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t, nil
+}
+
+// labelFile is the JSON sidecar mapping column headers to semantic types
+// for a persisted corpus.
+type labelFile struct {
+	TableName string            `json:"table_name"`
+	Types     map[string]string `json:"types"`     // header -> semantic type
+	Synthetic map[string]string `json:"synthetic"` // header -> synthetic header
+}
+
+// SaveDir persists tables as <dir>/<id>.csv plus <dir>/<id>.labels.json.
+func SaveDir(dir string, tables []*Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := WriteCSV(t, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		lf := labelFile{TableName: t.Name, Types: map[string]string{}, Synthetic: map[string]string{}}
+		for _, c := range t.Columns {
+			lf.Types[c.Header] = c.SemanticType
+			if c.SyntheticHeader != "" {
+				lf.Synthetic[c.Header] = c.SyntheticHeader
+			}
+		}
+		data, err := json.MarshalIndent(lf, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, t.ID+".labels.json"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every <id>.csv (+ optional labels sidecar) from dir, sorted
+// by id for determinism.
+func LoadDir(dir string) ([]*Table, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			ids = append(ids, strings.TrimSuffix(e.Name(), ".csv"))
+		}
+	}
+	sort.Strings(ids)
+	var tables []*Table
+	for _, id := range ids {
+		f, err := os.Open(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			return nil, err
+		}
+		name := id
+		var lf labelFile
+		if data, lerr := os.ReadFile(filepath.Join(dir, id+".labels.json")); lerr == nil {
+			if jerr := json.Unmarshal(data, &lf); jerr != nil {
+				f.Close()
+				return nil, fmt.Errorf("table: labels for %q: %w", id, jerr)
+			}
+			if lf.TableName != "" {
+				name = lf.TableName
+			}
+		}
+		t, err := ReadCSV(name, id, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range t.Columns {
+			if st, ok := lf.Types[c.Header]; ok {
+				c.SemanticType = st
+			}
+			if sh, ok := lf.Synthetic[c.Header]; ok {
+				c.SyntheticHeader = sh
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,32 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts ReadCSV never panics and that any table it accepts
+// passes structural validation after labels are filled.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,x\n2,y\n")
+	f.Add("h\n\n")
+	f.Add("x,y,z\n1,2,3\n")
+	f.Add("a\n1e9\n-3.5\n")
+	f.Add("q,w\n\"a,b\",2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tb, err := ReadCSV("fuzz", "fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, c := range tb.Columns {
+			c.SemanticType = "t"
+		}
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("accepted table fails validation: %v", err)
+		}
+		// serialization must always work on accepted tables
+		for _, c := range tb.Columns {
+			_ = SerializeColumn(c, SerializeOptions{})
+		}
+	})
+}

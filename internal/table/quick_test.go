@@ -1,0 +1,106 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTable builds a random valid table for property tests.
+func randTable(rng *rand.Rand) *Table {
+	rows := 1 + rng.Intn(8)
+	cols := 1 + rng.Intn(6)
+	t := &Table{Name: "prop", ID: "prop"}
+	for c := 0; c < cols; c++ {
+		col := &Column{
+			Header:       string(rune('a' + c)),
+			SemanticType: "t",
+		}
+		if rng.Intn(2) == 0 {
+			col.Kind = KindNumeric
+			for r := 0; r < rows; r++ {
+				// values that survive the CSV formatter round trip
+				v := math.Round(rng.NormFloat64()*1000) / 10
+				col.NumValues = append(col.NumValues, v)
+			}
+		} else {
+			col.Kind = KindText
+			words := []string{"alpha", "beta", "gamma", "x y", "z"}
+			for r := 0; r < rows; r++ {
+				col.TextValues = append(col.TextValues, words[rng.Intn(len(words))])
+			}
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randTable(rng)
+		var buf bytes.Buffer
+		if err := WriteCSV(orig, &buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(orig.Name, orig.ID, &buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Columns) != len(orig.Columns) || got.NumRows() != orig.NumRows() {
+			return false
+		}
+		for ci, oc := range orig.Columns {
+			gc := got.Columns[ci]
+			if gc.Kind != oc.Kind {
+				return false
+			}
+			if oc.Kind == KindNumeric {
+				for r := range oc.NumValues {
+					if math.Abs(gc.NumValues[r]-oc.NumValues[r]) > 1e-9 {
+						return false
+					}
+				}
+			} else {
+				for r := range oc.TextValues {
+					if gc.TextValues[r] != oc.TextValues[r] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeColumnNeverEmptyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randTable(rng)
+		for _, c := range tb.Columns {
+			s := SerializeColumn(c, SerializeOptions{})
+			if len(s) < len("[CLS] [SEP]") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAcceptsGeneratedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return randTable(rng).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

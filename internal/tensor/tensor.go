@@ -1,0 +1,482 @@
+// Package tensor provides a dense, row-major float64 matrix type and the
+// linear-algebra kernels the rest of the system is built on.
+//
+// The package is deliberately small: everything Pythagoras needs — matrix
+// products, broadcasts, reductions, row gather/scatter — and nothing else.
+// All operations are deterministic and allocation behaviour is explicit:
+// functions ending in InPlace mutate their receiver, everything else
+// allocates a fresh result.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice returns a rows×cols matrix backed by a copy of data.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// FromRows returns a matrix whose i-th row is rows[i]. All rows must have
+// equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged FromRows: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// RowVector returns a 1×len(v) matrix with a copy of v.
+func RowVector(v []float64) *Matrix { return FromSlice(1, len(v), v) }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i. Mutating it mutates the matrix.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element to 0 and returns m.
+func (m *Matrix) Zero() *Matrix {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Fill sets every element to v and returns m.
+func (m *Matrix) Fill(v float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// SameShape reports whether m and other have identical dimensions.
+func (m *Matrix) SameShape(other *Matrix) bool {
+	return m.Rows == other.Rows && m.Cols == other.Cols
+}
+
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// MatMul returns a×b. Panics if inner dimensions disagree.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// parallelThreshold is the flop count above which MatMulInto fans out
+// across CPU cores.
+const parallelThreshold = 1 << 20
+
+// MatMulInto computes out = a×b. out must be a.Rows×b.Cols and must not
+// alias a or b. Large products are computed in parallel across row blocks.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto out %dx%d want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	out.Zero()
+	flops := a.Rows * a.Cols * b.Cols
+	workers := 1
+	if flops > parallelThreshold {
+		workers = runtime.NumCPU()
+		if workers > a.Rows {
+			workers = a.Rows
+		}
+	}
+	if workers <= 1 {
+		matMulRows(out, a, b, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes out rows [lo, hi) with the cache-friendly ikj order.
+func matMulRows(out, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransposeB returns a×bᵀ.
+func MatMulTransposeB(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransposeB %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// MatMulTransposeA returns aᵀ×b.
+func MatMulTransposeA(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransposeA (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Add returns a+b (same shape).
+func Add(a, b *Matrix) *Matrix {
+	c := a.Clone()
+	c.AddInPlace(b)
+	return c
+}
+
+// AddInPlace computes m += other and returns m.
+func (m *Matrix) AddInPlace(other *Matrix) *Matrix {
+	if !m.SameShape(other) {
+		panic(fmt.Sprintf("tensor: AddInPlace %v += %v", m, other))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+	return m
+}
+
+// Sub returns a-b (same shape).
+func Sub(a, b *Matrix) *Matrix {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Sub %v - %v", a, b))
+	}
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] -= v
+	}
+	return c
+}
+
+// AddScaledInPlace computes m += s·other and returns m.
+func (m *Matrix) AddScaledInPlace(other *Matrix, s float64) *Matrix {
+	if !m.SameShape(other) {
+		panic(fmt.Sprintf("tensor: AddScaledInPlace %v += s*%v", m, other))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += s * v
+	}
+	return m
+}
+
+// AddRowBroadcast returns a matrix where row vector v (1×Cols) is added to
+// every row of m.
+func AddRowBroadcast(m, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast %v + %v", m, v))
+	}
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j, bv := range v.Data {
+			row[j] += bv
+		}
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	c := m.Clone()
+	for i := range c.Data {
+		c.Data[i] *= s
+	}
+	return c
+}
+
+// ScaleInPlace computes m *= s and returns m.
+func (m *Matrix) ScaleInPlace(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Mul returns the elementwise (Hadamard) product a⊙b.
+func Mul(a, b *Matrix) *Matrix {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: Mul %v ⊙ %v", a, b))
+	}
+	c := a.Clone()
+	for i, v := range b.Data {
+		c.Data[i] *= v
+	}
+	return c
+}
+
+// Apply returns a new matrix with f applied elementwise.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	c := m.Clone()
+	for i, v := range c.Data {
+		c.Data[i] = f(v)
+	}
+	return c
+}
+
+// GatherRows returns a matrix whose i-th row is m.Row(idx[i]).
+func GatherRows(m *Matrix, idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterAddRows adds each row i of src into dst row idx[i].
+func ScatterAddRows(dst, src *Matrix, idx []int) {
+	if src.Rows != len(idx) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: ScatterAddRows dst=%v src=%v idx=%d", dst, src, len(idx)))
+	}
+	for i, r := range idx {
+		drow := dst.Row(r)
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// ScaleRows multiplies row i of m by s[i], returning a new matrix.
+func ScaleRows(m *Matrix, s []float64) *Matrix {
+	if len(s) != m.Rows {
+		panic(fmt.Sprintf("tensor: ScaleRows %v with %d scales", m, len(s)))
+	}
+	out := m.Clone()
+	for i, sv := range s {
+		row := out.Row(i)
+		for j := range row {
+			row[j] *= sv
+		}
+	}
+	return out
+}
+
+// SumRows returns a 1×Cols row vector holding the column sums of m.
+func SumRows(m *Matrix) *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// MeanRows returns a 1×Cols row vector holding the column means of m.
+func MeanRows(m *Matrix) *Matrix {
+	out := SumRows(m)
+	if m.Rows > 0 {
+		out.ScaleInPlace(1 / float64(m.Rows))
+	}
+	return out
+}
+
+// ConcatRows stacks matrices vertically. All inputs must share Cols.
+func ConcatRows(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("tensor: ConcatRows col mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	at := 0
+	for _, m := range ms {
+		copy(out.Data[at:at+len(m.Data)], m.Data)
+		at += len(m.Data)
+	}
+	return out
+}
+
+// ConcatCols concatenates matrices horizontally. All inputs must share Rows.
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		at := 0
+		orow := out.Row(i)
+		for _, m := range ms {
+			copy(orow[at:at+m.Cols], m.Row(i))
+			at += m.Cols
+		}
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty m.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// ArgMaxRow returns the index of the maximum element in row i.
+func (m *Matrix) ArgMaxRow(i int) int {
+	row := m.Row(i)
+	best, bv := 0, math.Inf(-1)
+	for j, v := range row {
+		if v > bv {
+			best, bv = j, v
+		}
+	}
+	return best
+}
+
+// Equal reports whether a and b have the same shape and all elements are
+// within tol of each other.
+func Equal(a, b *Matrix, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any element is NaN or ±Inf.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
