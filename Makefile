@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet bench experiments experiments-full corpora clean
+.PHONY: build test vet race bench experiments experiments-full corpora clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Race-detect the concurrent serving path: the staged inference engine, the
+# sharded encoder cache, and the HTTP server that drives them.
+race:
+	$(GO) test -race ./internal/core/... ./internal/infer/... ./internal/lm/... ./internal/server/...
 
 # One quick-scale pass per paper table/figure plus component micro-benches.
 bench:

@@ -10,6 +10,7 @@
 package pythagoras_test
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -22,7 +23,9 @@ import (
 	"github.com/sematype/pythagoras/internal/experiments"
 	"github.com/sematype/pythagoras/internal/features"
 	"github.com/sematype/pythagoras/internal/graph"
+	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/table"
 )
 
 // benchScale is a trimmed QuickScale so the full -bench=. sweep stays in
@@ -195,9 +198,10 @@ func BenchmarkGraphBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkPredictTable measures end-to-end single-table inference with a
-// trained model — the production serving path.
-func BenchmarkPredictTable(b *testing.B) {
+// benchModel trains one small model over the bench corpus (shared by the
+// inference benchmarks).
+func benchModel(b *testing.B) (*core.Model, *data.Corpus) {
+	b.Helper()
 	c := data.GenerateSportsTables(data.SportsConfig{
 		NumTables: 33, Seed: 11, MinRows: 6, MaxRows: 10, WeakNameProb: 0.1, Domains: 3,
 	})
@@ -209,9 +213,38 @@ func BenchmarkPredictTable(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return m, c
+}
+
+// BenchmarkPredictTable measures end-to-end single-table inference with a
+// trained model — the legacy (pre-engine) serving path.
+func BenchmarkPredictTable(b *testing.B) {
+	m, c := benchModel(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.PredictTable(c.Tables[i%len(c.Tables)])
+	}
+}
+
+// BenchmarkPredictBatch measures the staged inference engine's batched
+// path at 1, 4 and 16 tables per call. Throughput (tables/sec) at
+// batch 16 versus 16 sequential BenchmarkPredictTable iterations is the
+// bench-trajectory number for the engine's batching + parallelism win.
+func BenchmarkPredictBatch(b *testing.B) {
+	m, c := benchModel(b)
+	eng := infer.New(m)
+	for _, size := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tables%d", size), func(b *testing.B) {
+			tables := make([]*table.Table, size)
+			for i := range tables {
+				tables[i] = c.Tables[i%len(c.Tables)]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.PredictBatch(tables)
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "tables/sec")
+		})
 	}
 }
 

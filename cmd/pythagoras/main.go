@@ -24,6 +24,7 @@ import (
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/server"
 	"github.com/sematype/pythagoras/internal/table"
@@ -148,7 +149,7 @@ func cmdEval(args []string) {
 	for i, st := range c.Types {
 		c.LabelIndex[st] = i
 	}
-	split, preds := m.Evaluate(c, idx)
+	split, preds := infer.New(m).Evaluate(c, idx)
 	fmt.Printf("columns scored: %d\n", len(preds))
 	fmt.Printf("weighted F1: numeric=%.3f non-numeric=%.3f overall=%.3f\n",
 		split.Numeric.WeightedF1, split.NonNumeric.WeightedF1, split.Overall.WeightedF1)
@@ -183,16 +184,21 @@ func cmdPredict(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tables, err := table.LoadDir(*dataDir)
+	all, err := table.LoadDir(*dataDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, t := range tables {
-		if *tableID != "" && t.ID != *tableID {
-			continue
+	var tables []*table.Table
+	for _, t := range all {
+		if *tableID == "" || t.ID == *tableID {
+			tables = append(tables, t)
 		}
+	}
+	// One batched forward pass over the whole directory.
+	batch := infer.New(m).PredictBatch(tables)
+	for i, t := range tables {
 		fmt.Printf("table %s (%q):\n", t.ID, t.Name)
-		for _, p := range m.PredictTable(t) {
+		for _, p := range batch[i] {
 			fmt.Printf("  %-24s [%s] → %-45s (%.2f)\n", p.Header, p.Kind, p.Type, p.Confidence)
 		}
 	}
@@ -203,6 +209,7 @@ func cmdServe(args []string) {
 	modelPath := fs.String("model", "pythagoras-model.bin", "model path")
 	addr := fs.String("addr", ":8080", "listen address")
 	minConf := fs.Float64("min-confidence", 0.3, "discovery-index confidence threshold")
+	workers := fs.Int("workers", 0, "inference prepare workers (0 = NumCPU)")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 
@@ -210,7 +217,7 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.New(m, *minConf)
+	srv := server.NewWithEngine(infer.New(m, infer.WithWorkers(*workers)), *minConf)
 	log.Printf("pythagoras serving on %s (vocabulary: %d types)", *addr, len(m.Types()))
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -4,9 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/sematype/pythagoras/internal/autodiff"
 	"github.com/sematype/pythagoras/internal/data"
-	"github.com/sematype/pythagoras/internal/nn"
 )
 
 // CalibrateTemperature fits a softmax temperature on held-out tables by
@@ -23,16 +21,15 @@ func (m *Model) CalibrateTemperature(c *data.Corpus, valIdx []int) (float64, err
 	}
 	var samples []sample
 	for _, vi := range valIdx {
-		p := m.prepare(c.Tables[vi])
-		tape := autodiff.NewTape()
-		logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
+		p := m.Prepare(c.Tables[vi])
+		logits, targets := m.InferLogits(p)
 		for i, n := range targets {
-			if p.g.Labels[n] < 0 {
+			if p.Graph.Labels[n] < 0 {
 				continue
 			}
 			samples = append(samples, sample{
-				logits: append([]float64(nil), logits.Value.Row(i)...),
-				label:  p.g.Labels[n],
+				logits: append([]float64(nil), logits.Row(i)...),
+				label:  p.Graph.Labels[n],
 			})
 		}
 	}

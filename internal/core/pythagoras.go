@@ -159,30 +159,45 @@ func newModel(cfg Config, types []string) *Model {
 	return m
 }
 
-// prepared caches everything per table that does not change across epochs:
+// Prepared caches everything per table that does not change across epochs:
 // the graph, the frozen-LM states of text-bearing nodes, and the raw
-// feature rows of V_ncf nodes.
-type prepared struct {
-	g *graph.Graph
-	// lmStates is NumNodes×hidden; V_ncf rows are zero (they are filled by
-	// the subnetwork inside the tape).
-	lmStates *tensor.Matrix
-	// featRows is len(ncfIdx)×features.Dim.
-	featRows *tensor.Matrix
-	ncfIdx   []int
+// feature rows of V_ncf nodes. It is the unit of work flowing between the
+// staged-inference pipeline's Encode and Forward stages (internal/infer):
+// Prepared values are immutable once built and may be unioned into batches.
+type Prepared struct {
+	Graph *graph.Graph
+	// LMStates is NumNodes×stateDim; V_ncf rows are zero (they are filled
+	// by the subnetwork inside the tape).
+	LMStates *tensor.Matrix
+	// FeatRows is len(NCFIdx)×features.Dim.
+	FeatRows *tensor.Matrix
+	// NCFIdx lists the graph node indices of V_ncf nodes, aligned with
+	// FeatRows rows.
+	NCFIdx []int
 }
 
-func (m *Model) prepare(t *table.Table) *prepared {
-	g := graph.Build(t, m.labelIndex, m.cfg.Graph)
-	p := &prepared{g: g, lmStates: tensor.New(g.NumNodes(), m.stateDim())}
+// BuildGraph is stage 1 of the inference pipeline: it converts a table into
+// the heterogeneous table graph under the model's vocabulary and graph
+// options. It is a pure function of its inputs and safe for concurrent use.
+func (m *Model) BuildGraph(t *table.Table) *graph.Graph {
+	return graph.Build(t, m.labelIndex, m.cfg.Graph)
+}
+
+// Encode is stage 2 of the inference pipeline: it fills the frozen-LM node
+// states (plus the enriched char-profile/token-mean blocks) and the
+// standardized feature rows for a graph built from t. Safe for concurrent
+// use — the encoder cache is internally synchronized and the model's fitted
+// scalings are read-only after training.
+func (m *Model) Encode(t *table.Table, g *graph.Graph) *Prepared {
+	p := &Prepared{Graph: g, LMStates: tensor.New(g.NumNodes(), m.stateDim())}
 	var featData [][]float64
 	for i, nt := range g.Types {
 		if nt == graph.NodeNumericFeatures {
-			p.ncfIdx = append(p.ncfIdx, i)
+			p.NCFIdx = append(p.NCFIdx, i)
 			featData = append(featData, g.Feats[i])
 			continue
 		}
-		row := p.lmStates.Row(i)
+		row := p.LMStates.Row(i)
 		copy(row, m.enc.Encode(g.Texts[i]))
 		if !m.cfg.PlainLMStates {
 			var vals []string
@@ -195,31 +210,51 @@ func (m *Model) prepare(t *table.Table) *prepared {
 		}
 	}
 	if len(featData) > 0 {
-		p.featRows = tensor.FromRows(featData)
+		p.FeatRows = tensor.FromRows(featData)
 	} else {
-		p.featRows = tensor.New(0, features.Dim)
+		p.FeatRows = tensor.New(0, features.Dim)
 	}
-	m.standardize(p.featRows)
+	m.standardize(p.FeatRows)
 	m.whitenStates(p)
 	return p
+}
+
+// Prepare runs stages 1–2 (BuildGraph + Encode) on one table.
+func (m *Model) Prepare(t *table.Table) *Prepared {
+	return m.Encode(t, m.BuildGraph(t))
+}
+
+// PrepareForPrediction prepares an unlabeled table: gold semantic types are
+// not required (missing ones get placeholders before graph construction).
+// The input table is not modified.
+func (m *Model) PrepareForPrediction(t *table.Table) *Prepared {
+	work := &table.Table{Name: t.Name, ID: t.ID}
+	for _, c := range t.Columns {
+		cc := *c
+		if cc.SemanticType == "" {
+			cc.SemanticType = "?"
+		}
+		work.Columns = append(work.Columns, &cc)
+	}
+	return m.Prepare(work)
 }
 
 // whitenStates applies the fitted node-state standardization in place
 // (no-op before fitStateScaling runs). V_ncf rows stay zero — they are
 // filled by the subnetwork inside the tape.
-func (m *Model) whitenStates(p *prepared) {
+func (m *Model) whitenStates(p *Prepared) {
 	if m.lmMean == nil {
 		return
 	}
 	ncf := map[int]bool{}
-	for _, i := range p.ncfIdx {
+	for _, i := range p.NCFIdx {
 		ncf[i] = true
 	}
-	for i := 0; i < p.lmStates.Rows; i++ {
+	for i := 0; i < p.LMStates.Rows; i++ {
 		if ncf[i] {
 			continue
 		}
-		row := p.lmStates.Row(i)
+		row := p.LMStates.Row(i)
 		for j := range row {
 			row[j] = (row[j] - m.lmMean[j]) / m.lmStd[j]
 		}
@@ -228,21 +263,21 @@ func (m *Model) whitenStates(p *prepared) {
 
 // fitStateScaling computes per-dim mean/std of the frozen node states over
 // the prepared training tables and whitens them in place.
-func (m *Model) fitStateScaling(ps []*prepared) {
+func (m *Model) fitStateScaling(ps []*Prepared) {
 	dim := m.stateDim()
 	mean := make([]float64, dim)
 	std := make([]float64, dim)
 	n := 0
 	for _, p := range ps {
 		ncf := map[int]bool{}
-		for _, i := range p.ncfIdx {
+		for _, i := range p.NCFIdx {
 			ncf[i] = true
 		}
-		for i := 0; i < p.lmStates.Rows; i++ {
+		for i := 0; i < p.LMStates.Rows; i++ {
 			if ncf[i] {
 				continue
 			}
-			for j, v := range p.lmStates.Row(i) {
+			for j, v := range p.LMStates.Row(i) {
 				mean[j] += v
 			}
 			n++
@@ -256,14 +291,14 @@ func (m *Model) fitStateScaling(ps []*prepared) {
 	}
 	for _, p := range ps {
 		ncf := map[int]bool{}
-		for _, i := range p.ncfIdx {
+		for _, i := range p.NCFIdx {
 			ncf[i] = true
 		}
-		for i := 0; i < p.lmStates.Rows; i++ {
+		for i := 0; i < p.LMStates.Rows; i++ {
 			if ncf[i] {
 				continue
 			}
-			for j, v := range p.lmStates.Row(i) {
+			for j, v := range p.LMStates.Row(i) {
 				d := v - mean[j]
 				std[j] += d * d
 			}
@@ -323,13 +358,13 @@ func (m *Model) standardize(rows *tensor.Matrix) {
 
 // fitFeatureScaling computes per-feature mean/std over the prepared
 // training tables and standardizes them in place.
-func (m *Model) fitFeatureScaling(ps []*prepared) {
+func (m *Model) fitFeatureScaling(ps []*Prepared) {
 	mean := make([]float64, features.Dim)
 	std := make([]float64, features.Dim)
 	n := 0
 	for _, p := range ps {
-		for i := 0; i < p.featRows.Rows; i++ {
-			row := p.featRows.Row(i)
+		for i := 0; i < p.FeatRows.Rows; i++ {
+			row := p.FeatRows.Row(i)
 			for j, v := range row {
 				mean[j] += v
 			}
@@ -343,8 +378,8 @@ func (m *Model) fitFeatureScaling(ps []*prepared) {
 		mean[j] /= float64(n)
 	}
 	for _, p := range ps {
-		for i := 0; i < p.featRows.Rows; i++ {
-			row := p.featRows.Row(i)
+		for i := 0; i < p.FeatRows.Rows; i++ {
+			row := p.FeatRows.Row(i)
 			for j, v := range row {
 				d := v - mean[j]
 				std[j] += d * d
@@ -359,55 +394,85 @@ func (m *Model) fitFeatureScaling(ps []*prepared) {
 	}
 	m.featMean, m.featStd = mean, std
 	for _, p := range ps {
-		m.standardize(p.featRows)
+		m.standardize(p.FeatRows)
 	}
 }
 
-// unionPrepared merges prepared tables into one batch.
-func unionPrepared(ps []*prepared) *prepared {
+// UnionPrepared merges prepared tables into one disjoint-union batch — the
+// same mechanism the training loop uses to form minibatches, reused by the
+// inference engine to amortize one forward pass over many tables. Node
+// indices (and NCFIdx) of table k are offset by the node counts of tables
+// 0..k-1, so per-table slices of the union output can be recovered from the
+// inputs' NumNodes.
+func UnionPrepared(ps []*Prepared) *Prepared {
 	graphs := make([]*graph.Graph, len(ps))
 	lms := make([]*tensor.Matrix, len(ps))
 	feats := make([]*tensor.Matrix, len(ps))
-	out := &prepared{}
+	out := &Prepared{}
 	offset := 0
 	for i, p := range ps {
-		graphs[i] = p.g
-		lms[i] = p.lmStates
-		feats[i] = p.featRows
-		for _, idx := range p.ncfIdx {
-			out.ncfIdx = append(out.ncfIdx, idx+offset)
+		graphs[i] = p.Graph
+		lms[i] = p.LMStates
+		feats[i] = p.FeatRows
+		for _, idx := range p.NCFIdx {
+			out.NCFIdx = append(out.NCFIdx, idx+offset)
 		}
-		offset += p.g.NumNodes()
+		offset += p.Graph.NumNodes()
 	}
-	out.g = graph.Union(graphs...)
-	out.lmStates = tensor.ConcatRows(lms...)
-	out.featRows = tensor.ConcatRows(feats...)
+	out.Graph = graph.Union(graphs...)
+	out.LMStates = tensor.ConcatRows(lms...)
+	out.FeatRows = tensor.ConcatRows(feats...)
 	return out
 }
 
 // forward runs the model over a prepared batch, returning target logits and
-// the target node list.
-func (m *Model) forward(tape *autodiff.Tape, grads *nn.GradSet, p *prepared, rng *rand.Rand, training bool) (*autodiff.Var, []int) {
+// the target node list. A nil grads selects inference mode: parameters
+// enter the tape as constants, so no gradient buffers are allocated and no
+// backward closures are recorded.
+func (m *Model) forward(tape *autodiff.Tape, grads *nn.GradSet, p *Prepared, rng *rand.Rand, training bool) (*autodiff.Var, []int) {
 	// Initial states: frozen-LM rows plus subnetwork output scattered into
 	// the V_ncf rows.
-	base := tape.Constant(p.lmStates)
+	base := tape.Constant(p.LMStates)
 	h := base
-	if p.featRows.Rows > 0 {
-		sw := grads.Track("subnet.w", tape.Param(m.subnet.W))
-		sb := grads.Track("subnet.b", tape.Param(m.subnet.B))
-		sub := tape.AddRow(tape.MatMul(tape.Constant(p.featRows), sw), sb)
-		h = tape.Add(base, tape.ScatterAddRows(sub, p.ncfIdx, p.g.NumNodes()))
+	if p.FeatRows.Rows > 0 {
+		sw := nn.ParamVar(tape, grads, "subnet.w", m.subnet.W)
+		sb := nn.ParamVar(tape, grads, "subnet.b", m.subnet.B)
+		sub := tape.AddRow(tape.MatMul(tape.Constant(p.FeatRows), sw), sb)
+		h = tape.Add(base, tape.ScatterAddRows(sub, p.NCFIdx, p.Graph.NumNodes()))
 	}
 
-	h = m.stack.Apply(tape, grads, h, p.g, true)
+	h = m.stack.Apply(tape, grads, h, p.Graph, true)
 	h = tape.Dropout(h, m.cfg.Dropout, rng, training)
 
-	targets := p.g.TargetNodes()
+	targets := p.Graph.TargetNodes()
 	ht := tape.GatherRows(h, targets)
-	cw := grads.Track("classifier.w", tape.Param(m.classifier.W))
-	cb := grads.Track("classifier.b", tape.Param(m.classifier.B))
+	cw := nn.ParamVar(tape, grads, "classifier.w", m.classifier.W)
+	cb := nn.ParamVar(tape, grads, "classifier.b", m.classifier.B)
 	logits := tape.AddRow(tape.MatMul(ht, cw), cb)
 	return logits, targets
+}
+
+// InferLogits is stage 3 of the inference pipeline: one gradient-free
+// forward pass over a prepared (possibly unioned) batch. It returns the raw
+// logits (targets×classes) and the target node indices into p.Graph. Safe
+// for concurrent use — each call builds its own tape and the model
+// parameters are read-only.
+func (m *Model) InferLogits(p *Prepared) (*tensor.Matrix, []int) {
+	tape := autodiff.NewTape()
+	logits, targets := m.forward(tape, nil, p, nil, false)
+	return logits.Value, targets
+}
+
+// InferProbs runs InferLogits and converts the logits to calibrated
+// probabilities (temperature-scaled softmax).
+func (m *Model) InferProbs(p *Prepared) (*tensor.Matrix, []int) {
+	tape := autodiff.NewTape()
+	logits, targets := m.forward(tape, nil, p, nil, false)
+	if t := m.Temperature(); t != 1 {
+		logits = tape.Scale(logits, 1/t)
+	}
+	probs := tape.Softmax(logits)
+	return probs.Value, targets
 }
 
 // Train fits Pythagoras on the corpus using the given table index splits.
@@ -422,15 +487,15 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 	}
 
 	logf("pythagoras: preparing %d train / %d val tables", len(trainIdx), len(valIdx))
-	trainPrep := make([]*prepared, len(trainIdx))
+	trainPrep := make([]*Prepared, len(trainIdx))
 	for i, ti := range trainIdx {
-		trainPrep[i] = m.prepare(c.Tables[ti])
+		trainPrep[i] = m.Prepare(c.Tables[ti])
 	}
 	m.fitFeatureScaling(trainPrep)
 	m.fitStateScaling(trainPrep)
-	valPrep := make([]*prepared, len(valIdx))
+	valPrep := make([]*Prepared, len(valIdx))
 	for i, vi := range valIdx {
-		valPrep[i] = m.prepare(c.Tables[vi])
+		valPrep[i] = m.Prepare(c.Tables[vi])
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -452,13 +517,13 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 			if end > len(trainPrep) {
 				end = len(trainPrep)
 			}
-			p := unionPrepared(trainPrep[at:end])
+			p := UnionPrepared(trainPrep[at:end])
 			tape := autodiff.NewTape()
 			grads := nn.NewGradSet()
 			logits, targets := m.forward(tape, grads, p, rng, true)
 			labels := make([]int, len(targets))
 			for i, n := range targets {
-				labels[i] = p.g.Labels[n]
+				labels[i] = p.Graph.Labels[n]
 			}
 			loss := tape.SoftmaxCrossEntropy(logits, labels, nil)
 			tape.Backward(loss)
@@ -489,23 +554,32 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 }
 
 // scorePrepared evaluates prepared tables (no dropout, no grads).
-func (m *Model) scorePrepared(ps []*prepared) *eval.Split {
+func (m *Model) scorePrepared(ps []*Prepared) *eval.Split {
 	var preds []eval.Prediction
 	for _, p := range ps {
-		tape := autodiff.NewTape()
-		logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
-		for i, n := range targets {
-			if p.g.Labels[n] < 0 {
-				continue
-			}
-			preds = append(preds, eval.Prediction{
-				True:    p.g.Labels[n],
-				Pred:    logits.Value.ArgMaxRow(i),
-				Numeric: p.g.Meta[n].Kind == table.KindNumeric,
-			})
-		}
+		preds = append(preds, m.LabeledPredictions(p)...)
 	}
 	return eval.ComputeSplit(preds)
+}
+
+// LabeledPredictions runs an inference forward pass over a prepared batch
+// and returns one eval.Prediction per labeled target node, in ascending
+// node order. It is the shared scoring primitive behind Evaluate and the
+// inference engine's batched evaluation.
+func (m *Model) LabeledPredictions(p *Prepared) []eval.Prediction {
+	logits, targets := m.InferLogits(p)
+	var preds []eval.Prediction
+	for i, n := range targets {
+		if p.Graph.Labels[n] < 0 {
+			continue
+		}
+		preds = append(preds, eval.Prediction{
+			True:    p.Graph.Labels[n],
+			Pred:    logits.ArgMaxRow(i),
+			Numeric: p.Graph.Meta[n].Kind == table.KindNumeric,
+		})
+	}
+	return preds
 }
 
 // Evaluate scores the model on the given tables of a corpus, returning the
@@ -513,19 +587,7 @@ func (m *Model) scorePrepared(ps []*prepared) *eval.Split {
 func (m *Model) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Prediction) {
 	var preds []eval.Prediction
 	for _, ti := range idx {
-		p := m.prepare(c.Tables[ti])
-		tape := autodiff.NewTape()
-		logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
-		for i, n := range targets {
-			if p.g.Labels[n] < 0 {
-				continue
-			}
-			preds = append(preds, eval.Prediction{
-				True:    p.g.Labels[n],
-				Pred:    logits.Value.ArgMaxRow(i),
-				Numeric: p.g.Meta[n].Kind == table.KindNumeric,
-			})
-		}
+		preds = append(preds, m.LabeledPredictions(m.Prepare(c.Tables[ti]))...)
 	}
 	return eval.ComputeSplit(preds), preds
 }
@@ -540,36 +602,32 @@ type ColumnPrediction struct {
 }
 
 // PredictTable predicts the semantic type of every column of an unlabeled
-// table.
+// table. It runs the same staged pipeline as the batched inference engine
+// (internal/infer) on a single table.
 func (m *Model) PredictTable(t *table.Table) []ColumnPrediction {
-	// Build against an empty gold-label requirement: Validate of Table
-	// requires types, but prediction must not; fill placeholders.
-	work := &table.Table{Name: t.Name, ID: t.ID}
-	for _, c := range t.Columns {
-		cc := *c
-		if cc.SemanticType == "" {
-			cc.SemanticType = "?"
-		}
-		work.Columns = append(work.Columns, &cc)
-	}
-	p := m.prepare(work)
-	tape := autodiff.NewTape()
-	logits, targets := m.forward(tape, nn.NewGradSet(), p, nil, false)
-	if t := m.Temperature(); t != 1 {
-		logits = tape.Scale(logits, 1/t)
-	}
-	probs := tape.Softmax(logits)
+	p := m.PrepareForPrediction(t)
+	probs, targets := m.InferProbs(p)
+	return m.DecodePredictions(p, probs, targets, 0, len(targets), t)
+}
 
+// DecodePredictions converts inference probabilities back into per-column
+// predictions for one table. probs/targets are the output of InferProbs
+// over a prepared batch; [lo,hi) selects the target rows belonging to t
+// (0, len(targets) for a single-table batch), and nodeOffset-relative
+// metadata is read from p.Graph. The inference engine uses the range form
+// to split a union batch back into per-table results.
+func (m *Model) DecodePredictions(p *Prepared, probs *tensor.Matrix, targets []int, lo, hi int, t *table.Table) []ColumnPrediction {
 	var out []ColumnPrediction
-	for i, n := range targets {
-		ci := p.g.Meta[n].ColIndex
-		cls := probs.Value.ArgMaxRow(i)
+	for i := lo; i < hi; i++ {
+		n := targets[i]
+		ci := p.Graph.Meta[n].ColIndex
+		cls := probs.ArgMaxRow(i)
 		out = append(out, ColumnPrediction{
 			ColIndex:   ci,
 			Header:     t.Columns[ci].Header,
 			Kind:       t.Columns[ci].Kind,
 			Type:       m.types[cls],
-			Confidence: probs.Value.At(i, cls),
+			Confidence: probs.At(i, cls),
 		})
 	}
 	return out

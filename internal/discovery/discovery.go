@@ -51,7 +51,13 @@ func NewTypeIndex(minConfidence float64) *TypeIndex {
 // AddTable types every column of t with the model and indexes the results.
 // It returns the number of columns indexed.
 func (ix *TypeIndex) AddTable(m *core.Model, t *table.Table) int {
-	preds := m.PredictTable(t)
+	return ix.AddPredictions(t, m.PredictTable(t))
+}
+
+// AddPredictions indexes already-computed predictions for t — the path the
+// serving layer uses so one staged-inference pass covers both the response
+// and the index update (AddTable would re-predict from scratch).
+func (ix *TypeIndex) AddPredictions(t *table.Table, preds []core.ColumnPrediction) int {
 	refs := make([]ColumnRef, 0, len(preds))
 	for _, p := range preds {
 		if p.Confidence < ix.minConfidence {

@@ -20,6 +20,7 @@ import (
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
 	"github.com/sematype/pythagoras/internal/graph"
+	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/table"
 )
@@ -199,7 +200,9 @@ func RunComparison(c *data.Corpus, s Scale) *ComparisonResult {
 			if err != nil {
 				panic(err)
 			}
-			return m.Evaluate(c, test)
+			// Score through the staged inference engine — the serving
+			// path, equivalence-tested against Model.Evaluate.
+			return infer.New(m).Evaluate(c, test)
 		})
 	}
 
@@ -318,7 +321,7 @@ func Table4(s Scale) []AblationRow {
 		if err != nil {
 			panic(err)
 		}
-		split, _ := m.Evaluate(c, test)
+		split, _ := infer.New(m).Evaluate(c, test)
 		rows = append(rows, AblationRow{
 			Variant:    v.Name,
 			WeightedF1: split.Numeric.WeightedF1,

@@ -60,6 +60,50 @@ type Summary struct {
 	LogMean, LogStd, LogSkew, LogKurt float64
 
 	counts map[float64]int
+
+	// Lazily memoized renderings shared by the string-form and
+	// decimal-place features — formatting floats is expensive enough to
+	// show up in inference profiles, so each value is rendered once per
+	// Summary instead of once per feature. A Summary is not safe for
+	// concurrent use.
+	strs    []string
+	strLens []int
+	decs    []int
+}
+
+// Strs returns every value rendered via FormatFloat(v, 'g', -1, 64) in
+// original order, computed once per Summary.
+func (s *Summary) Strs() []string {
+	if s.strs == nil {
+		s.strs = make([]string, s.N)
+		for i, v := range s.Values {
+			s.strs[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+	}
+	return s.strs
+}
+
+// strLengths returns len(Strs()[i]) per value, computed once per Summary.
+func (s *Summary) strLengths() []int {
+	if s.strLens == nil {
+		strs := s.Strs()
+		s.strLens = make([]int, len(strs))
+		for i, str := range strs {
+			s.strLens[i] = len(str)
+		}
+	}
+	return s.strLens
+}
+
+// decimals returns decimalPlaces(v) per value, computed once per Summary.
+func (s *Summary) decimals() []int {
+	if s.decs == nil {
+		s.decs = make([]int, s.N)
+		for i, v := range s.Values {
+			s.decs[i] = decimalPlaces(v)
+		}
+	}
+	return s.decs
 }
 
 // Summarize computes a Summary for values. It never mutates the input.
@@ -333,22 +377,31 @@ func buildRegistry() {
 	})
 	add("mean_decimal_places", func(s *Summary) float64 {
 		var t float64
-		for _, v := range s.Values {
-			t += float64(decimalPlaces(v))
+		for _, d := range s.decimals() {
+			t += float64(d)
 		}
 		return safeDiv(t, float64(s.N))
 	})
 	add("max_decimal_places", func(s *Summary) float64 {
 		mx := 0
-		for _, v := range s.Values {
-			if d := decimalPlaces(v); d > mx {
+		for _, d := range s.decimals() {
+			if d > mx {
 				mx = d
 			}
 		}
 		return float64(mx)
 	})
 	add("frac_le2_decimals", func(s *Summary) float64 {
-		return frac(s, func(v float64) bool { return decimalPlaces(v) <= 2 })
+		if s.N == 0 {
+			return 0
+		}
+		c := 0
+		for _, d := range s.decimals() {
+			if d <= 2 {
+				c++
+			}
+		}
+		return float64(c) / float64(s.N)
 	})
 	add("frac_mult_5", func(s *Summary) float64 {
 		return frac(s, func(v float64) bool { return isInt(v) && math.Mod(math.Abs(v), 5) == 0 })
@@ -472,12 +525,33 @@ func buildRegistry() {
 	// --- entropy & concentration (8) ---
 	add("entropy_10bins", func(s *Summary) float64 { return binEntropy(s, 10) })
 	add("entropy_norm_10bins", func(s *Summary) float64 { return safeDiv(binEntropy(s, 10), math.Log(10)) })
+	// sortedCounts yields the multiplicity of each distinct value in
+	// ascending value order. Entropy-style features must accumulate in a
+	// deterministic order: ranging over the counts map would perturb the
+	// float sum at ulp level between calls, breaking the inference
+	// engine's bit-identical batching contract.
+	sortedCounts := func(s *Summary) []int {
+		if s.N == 0 {
+			return nil
+		}
+		var out []int
+		run := 1
+		for i := 1; i < len(s.Sorted); i++ {
+			if s.Sorted[i] == s.Sorted[i-1] {
+				run++
+			} else {
+				out = append(out, run)
+				run = 1
+			}
+		}
+		return append(out, run)
+	}
 	add("value_entropy", func(s *Summary) float64 {
 		if s.N == 0 {
 			return 0
 		}
 		var h float64
-		for _, c := range s.counts {
+		for _, c := range sortedCounts(s) {
 			p := float64(c) / float64(s.N)
 			h -= p * math.Log(p)
 		}
@@ -488,7 +562,7 @@ func buildRegistry() {
 			return 0
 		}
 		var h float64
-		for _, c := range s.counts {
+		for _, c := range sortedCounts(s) {
 			p := float64(c) / float64(s.N)
 			h -= p * math.Log(p)
 		}
@@ -623,13 +697,7 @@ func buildRegistry() {
 	// --- string-form features of the rendered values (10) ---
 	strStat := func(name string, fn func(lens []int, strs []string) float64) {
 		add(name, func(s *Summary) float64 {
-			strs := make([]string, s.N)
-			lens := make([]int, s.N)
-			for i, v := range s.Values {
-				strs[i] = strconv.FormatFloat(v, 'g', -1, 64)
-				lens[i] = len(strs[i])
-			}
-			return fn(lens, strs)
+			return fn(s.strLengths(), s.Strs())
 		})
 	}
 	strStat("mean_str_len", func(lens []int, _ []string) float64 {

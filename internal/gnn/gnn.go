@@ -50,10 +50,12 @@ func NewHeteroConv(p *nn.Params, prefix string, in, out int, rng *rand.Rand) *He
 
 // Apply runs the convolution over the batched graph g with node states h
 // (NumNodes×in). It returns new node states (NumNodes×out). grads tracks
-// the bound parameters for the optimizer; pass activate=false to skip the
-// final ReLU (e.g. for the last layer before the classifier).
+// the bound parameters for the optimizer; a nil grads runs in inference
+// mode (parameters enter the tape as constants, no gradient bookkeeping).
+// Pass activate=false to skip the final ReLU (e.g. for the last layer
+// before the classifier).
 func (hc *HeteroConv) Apply(t *autodiff.Tape, grads *nn.GradSet, h *autodiff.Var, g *graph.Graph, activate bool) *autodiff.Var {
-	selfW := grads.Track(hc.prefix+".self.w", t.Param(hc.SelfW))
+	selfW := nn.ParamVar(t, grads, hc.prefix+".self.w", hc.SelfW)
 	out := t.MatMul(h, selfW)
 
 	for et := graph.EdgeType(0); et < graph.NumEdgeTypes; et++ {
@@ -61,7 +63,7 @@ func (hc *HeteroConv) Apply(t *autodiff.Tape, grads *nn.GradSet, h *autodiff.Var
 		if el.Len() == 0 {
 			continue
 		}
-		w := grads.Track(fmt.Sprintf("%s.edge%d.w", hc.prefix, et), t.Param(hc.EdgeW[et]))
+		w := nn.ParamVar(t, grads, fmt.Sprintf("%s.edge%d.w", hc.prefix, et), hc.EdgeW[et])
 		msgs := t.MatMul(t.GatherRows(h, el.Src), w)
 		agg := t.ScatterAddRows(msgs, el.Dst, g.NumNodes())
 		// Mean aggregation: normalize by in-degree per destination.
@@ -75,7 +77,7 @@ func (hc *HeteroConv) Apply(t *autodiff.Tape, grads *nn.GradSet, h *autodiff.Var
 		out = t.Add(out, t.ScaleRows(agg, inv))
 	}
 
-	bias := grads.Track(hc.prefix+".b", t.Param(hc.Bias))
+	bias := nn.ParamVar(t, grads, hc.prefix+".b", hc.Bias)
 	out = t.AddRow(out, bias)
 	if activate {
 		out = t.ReLU(out)

@@ -1,0 +1,212 @@
+// Package infer is the staged inference engine of Pythagoras: the
+// production serving path that turns the monolithic per-table predict loop
+// into an explicit Encode → BuildGraph → Forward pipeline with batching and
+// parallelism.
+//
+// Stages (see DESIGN.md §7):
+//
+//  1. BuildGraph — table → heterogeneous graph (pure, per table).
+//  2. Encode     — frozen-LM node states + standardized feature rows
+//     (per table; dominated by the transformer, so the engine fans it out
+//     over a worker pool; the lm.Encoder cache is sharded to keep workers
+//     from serializing).
+//  3. Forward    — graph union + gradient-free GNN passes, exactly the
+//     minibatch mechanism the training loop uses. The batch is split into
+//     per-worker chunks (each at most maxBatch tables) whose union forwards
+//     run concurrently.
+//
+// Stages 1–2 are embarrassingly parallel across tables; stage 3 amortizes
+// tape construction, parameter binding and matrix dispatch over each chunk
+// and runs chunks in parallel. Because a union forward is bit-identical to
+// the per-table forwards it replaces (row-wise ops, per-destination scatter
+// accumulation), the chunking is unobservable in the output.
+// The engine holds no mutable state: a single Engine is safe for concurrent
+// use from any number of goroutines, and its batch output is bit-identical
+// to looping core.Model.PredictTable over the same tables.
+package infer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/data"
+	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/table"
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+// Engine schedules staged inference over a trained, read-only model.
+type Engine struct {
+	model *core.Model
+	// workers bounds the fan-out of both the prepare stage and the chunked
+	// forward stage (default runtime.NumCPU()).
+	workers int
+	// maxBatch bounds how many tables are unioned into one forward pass
+	// (default 16 — the training loop's default batch size). Larger batches
+	// are split into chunks run concurrently across the worker pool.
+	maxBatch int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the prepare-stage worker count (values < 1 reset to the
+// default).
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithMaxBatch sets how many tables Evaluate unions per forward pass.
+func WithMaxBatch(n int) Option { return func(e *Engine) { e.maxBatch = n } }
+
+// New builds an inference engine around a trained model.
+func New(m *core.Model, opts ...Option) *Engine {
+	e := &Engine{model: m, workers: runtime.NumCPU(), maxBatch: 16}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = runtime.NumCPU()
+	}
+	if e.maxBatch < 1 {
+		e.maxBatch = 16
+	}
+	return e
+}
+
+// Model returns the engine's underlying model.
+func (e *Engine) Model() *core.Model { return e.model }
+
+// Predict runs the staged pipeline on a single table. It is equivalent to
+// (and implemented as) core.Model.PredictTable.
+func (e *Engine) Predict(t *table.Table) []core.ColumnPrediction {
+	return e.model.PredictTable(t)
+}
+
+// parallelFor runs fn(0..n-1) over the engine's worker pool. Used for both
+// the prepare stage and the chunked forward stage: both only read the frozen
+// model and the internally synchronized encoder cache.
+func (e *Engine) parallelFor(n int, fn func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkBounds splits n prepared tables into contiguous [lo, hi) chunks — as
+// even as possible across the worker pool, never larger than maxBatch. Chunk
+// boundaries are unobservable in the output: a union forward is bit-identical
+// to the per-table forwards it replaces.
+func (e *Engine) chunkBounds(n int) [][2]int {
+	size := (n + e.workers - 1) / e.workers
+	if size > e.maxBatch {
+		size = e.maxBatch
+	}
+	if size < 1 {
+		size = 1
+	}
+	bounds := make([][2]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	return bounds
+}
+
+// forwardChunk runs one gradient-free forward over ps[lo:hi] (unioned when
+// the chunk holds more than one table) and returns the chunk's prepared
+// input, class probabilities and target-node list.
+func (e *Engine) forwardChunk(ps []*core.Prepared, lo, hi int) (*core.Prepared, *tensor.Matrix, []int) {
+	p := ps[lo]
+	if hi-lo > 1 {
+		p = core.UnionPrepared(ps[lo:hi])
+	}
+	probs, targets := e.model.InferProbs(p)
+	return p, probs, targets
+}
+
+// PredictBatch predicts the semantic types of every column of every input
+// table through the staged pipeline: tables are prepared in parallel, their
+// graphs unioned (the training loop's minibatch mechanism) into per-worker
+// chunks of at most maxBatch tables, and the GNN + softmax run once per
+// chunk, chunks in parallel. Output i corresponds to input i and is
+// bit-identical to Predict(ts[i]).
+func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		return [][]core.ColumnPrediction{e.Predict(ts[0])}
+	}
+
+	ps := make([]*core.Prepared, len(ts))
+	e.parallelFor(len(ts), func(i int) {
+		ps[i] = e.model.PrepareForPrediction(ts[i])
+	})
+
+	out := make([][]core.ColumnPrediction, len(ts))
+	bounds := e.chunkBounds(len(ts))
+	e.parallelFor(len(bounds), func(c int) {
+		clo, chi := bounds[c][0], bounds[c][1]
+		p, probs, targets := e.forwardChunk(ps, clo, chi)
+		lo := 0
+		for i := clo; i < chi; i++ {
+			hi := lo + len(ps[i].Graph.TargetNodes())
+			out[i] = e.model.DecodePredictions(p, probs, targets, lo, hi, ts[i])
+			lo = hi
+		}
+	})
+	return out
+}
+
+// Evaluate scores the model over labeled corpus tables through the staged
+// pipeline: parallel prepare, then parallel union forward passes of up to
+// maxBatch tables each. The returned metrics and prediction list are
+// identical to core.Model.Evaluate on the same indices.
+func (e *Engine) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Prediction) {
+	ps := make([]*core.Prepared, len(idx))
+	e.parallelFor(len(idx), func(i int) {
+		ps[i] = e.model.Prepare(c.Tables[idx[i]])
+	})
+
+	bounds := e.chunkBounds(len(ps))
+	chunkPreds := make([][]eval.Prediction, len(bounds))
+	e.parallelFor(len(bounds), func(ci int) {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		p := ps[lo]
+		if hi-lo > 1 {
+			p = core.UnionPrepared(ps[lo:hi])
+		}
+		chunkPreds[ci] = e.model.LabeledPredictions(p)
+	})
+	var preds []eval.Prediction
+	for _, cp := range chunkPreds {
+		preds = append(preds, cp...)
+	}
+	return eval.ComputeSplit(preds), preds
+}

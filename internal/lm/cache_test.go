@@ -1,0 +1,80 @@
+package lm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	e := NewEncoder(Config{Dim: 16, Layers: 1, Heads: 2, FFNDim: 32, MaxLen: 64, Buckets: 1 << 10, Seed: 1})
+	e.Encode("player points per game")
+	e.Encode("player points per game")
+	st := e.CacheStats()
+	if st.TextMisses != 1 {
+		t.Fatalf("text misses = %d, want 1", st.TextMisses)
+	}
+	if st.TextHits != 1 {
+		t.Fatalf("text hits = %d, want 1", st.TextHits)
+	}
+	if st.TextEntries != 1 {
+		t.Fatalf("text entries = %d, want 1", st.TextEntries)
+	}
+	if st.TokenMisses == 0 {
+		t.Fatal("expected token misses from encoding")
+	}
+}
+
+func TestCacheBoundResetsShards(t *testing.T) {
+	c := newVecCache(numShards) // one entry per shard
+	for i := 0; i < 10*numShards; i++ {
+		c.put(fmt.Sprintf("key-%d", i), []float64{float64(i)})
+	}
+	if n := c.len(); n > 2*numShards {
+		t.Fatalf("cache grew to %d entries despite bound of %d per shard", n, 1)
+	}
+}
+
+func TestCachePutReturnsCanonicalVector(t *testing.T) {
+	c := newVecCache(1 << 10)
+	first := c.put("k", []float64{1})
+	second := c.put("k", []float64{2})
+	if &first[0] != &second[0] {
+		t.Fatal("second put should return the already-stored vector")
+	}
+	if second[0] != 1 {
+		t.Fatalf("canonical vector overwritten: %v", second)
+	}
+}
+
+// TestEncoderConcurrentEncode exercises the sharded cache from many
+// goroutines (meaningful under -race): identical inputs must yield
+// identical vectors regardless of interleaving.
+func TestEncoderConcurrentEncode(t *testing.T) {
+	e := NewEncoder(Config{Dim: 16, Layers: 1, Heads: 2, FFNDim: 32, MaxLen: 64, Buckets: 1 << 10, Seed: 1})
+	texts := []string{"goals", "assists per game", "team name", "salary usd", "height cm"}
+	want := make([][]float64, len(texts))
+	for i, s := range texts {
+		want[i] = append([]float64(nil), e.Encode(s)...)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for i, s := range texts {
+					got := e.Encode(s)
+					for j := range got {
+						if got[j] != want[i][j] {
+							t.Errorf("concurrent Encode(%q) diverged", s)
+							return
+						}
+					}
+					e.TokenEmbedding(s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -3,7 +3,6 @@ package lm
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"github.com/sematype/pythagoras/internal/tensor"
 )
@@ -41,7 +40,8 @@ type layerWeights struct {
 }
 
 // Encoder is the frozen pseudo-BERT. It is safe for concurrent use; the
-// embedding cache is internally synchronized.
+// embedding caches are sharded and RW-locked so parallel encoders (the
+// inference engine's prepare workers) don't serialize on a single mutex.
 type Encoder struct {
 	cfg    Config
 	tok    *Tokenizer
@@ -50,10 +50,19 @@ type Encoder struct {
 	cls    []float64      // dedicated [CLS] embedding
 	sep    []float64      // dedicated [SEP] embedding
 
-	mu        sync.Mutex
-	tokenVecs map[string][]float64 // hashed token embedding cache
-	textVecs  map[string][]float64 // full-text CLS cache
+	tokenVecs *vecCache // hashed token embedding cache
+	textVecs  *vecCache // full-text CLS cache
 }
+
+// Cache bounds: both caches drop a full shard when it exceeds its share of
+// the bound — entries are deterministic recomputations, so eviction costs
+// latency, never correctness. Token vocabulary is small and hot; text keys
+// are unbounded under lake-scale traffic, so the text bound matches the
+// pre-shard cache's 1<<17 cap.
+const (
+	tokenCacheCap = 1 << 16
+	textCacheCap  = 1 << 17
+)
 
 // NewEncoder builds the frozen encoder. All weights derive deterministically
 // from cfg.Seed, so two encoders with equal configs are functionally
@@ -69,8 +78,8 @@ func NewEncoder(cfg Config) *Encoder {
 	e := &Encoder{
 		cfg:       cfg,
 		tok:       NewTokenizer(),
-		tokenVecs: make(map[string][]float64),
-		textVecs:  make(map[string][]float64),
+		tokenVecs: newVecCache(tokenCacheCap),
+		textVecs:  newVecCache(textCacheCap),
 	}
 	scaled := func(rows, cols int) *tensor.Matrix {
 		m := tensor.New(rows, cols)
@@ -171,12 +180,9 @@ func (e *Encoder) TokenEmbedding(token string) []float64 {
 	case TokenSEP:
 		return e.sep
 	}
-	e.mu.Lock()
-	if v, ok := e.tokenVecs[token]; ok {
-		e.mu.Unlock()
+	if v, ok := e.tokenVecs.get(token); ok {
 		return v
 	}
-	e.mu.Unlock()
 
 	dim := e.cfg.Dim
 	v := make([]float64, dim)
@@ -207,10 +213,7 @@ func (e *Encoder) TokenEmbedding(token string) []float64 {
 			v[i] /= norm
 		}
 	}
-	e.mu.Lock()
-	e.tokenVecs[token] = v
-	e.mu.Unlock()
-	return v
+	return e.tokenVecs.put(token, v)
 }
 
 // EncodeTokens runs the frozen transformer over a token sequence (already
@@ -330,27 +333,16 @@ func layerNormInPlace(m *tensor.Matrix) {
 // Encode returns the CLS vector of "[CLS] text [SEP]" — the paper's initial
 // node representation. Results are cached per distinct text.
 func (e *Encoder) Encode(text string) []float64 {
-	e.mu.Lock()
-	if v, ok := e.textVecs[text]; ok {
-		e.mu.Unlock()
+	if v, ok := e.textVecs.get(text); ok {
 		return v
 	}
-	e.mu.Unlock()
 
 	tokens := append([]string{TokenCLS}, e.tok.Tokenize(text)...)
 	tokens = append(tokens, TokenSEP)
 	states := e.EncodeTokens(tokens)
 	v := append([]float64(nil), states.Row(0)...)
 
-	e.mu.Lock()
-	// Bound the cache: corpora contain hundreds of thousands of distinct
-	// serializations during sweeps; cap memory rather than grow forever.
-	if len(e.textVecs) > 1<<17 {
-		e.textVecs = make(map[string][]float64)
-	}
-	e.textVecs[text] = v
-	e.mu.Unlock()
-	return v
+	return e.textVecs.put(text, v)
 }
 
 // Tokenize exposes the encoder's tokenizer (Doduo's table serializer needs

@@ -263,8 +263,8 @@ func BenchmarkEncodeShortText(b *testing.B) {
 	e := NewEncoder(DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// vary text to defeat the cache: measures real encode cost
-		e.textVecs = map[string][]float64{}
+		// fresh cache each iteration to defeat it: measures real encode cost
+		e.textVecs = newVecCache(textCacheCap)
 		e.Encode("NBA player statistics 2023 season")
 	}
 }

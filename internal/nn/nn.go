@@ -252,9 +252,25 @@ type GradSet struct {
 func NewGradSet() *GradSet { return &GradSet{vars: make(map[string]*autodiff.Var)} }
 
 // Track records the autodiff Var bound to the named parameter this step.
+// A nil GradSet (inference mode) is a no-op passthrough.
 func (g *GradSet) Track(name string, v *autodiff.Var) *autodiff.Var {
+	if g == nil {
+		return v
+	}
 	g.vars[name] = v
 	return v
+}
+
+// ParamVar binds a parameter matrix into the tape for one step. With a nil
+// GradSet (inference mode) the matrix enters the tape as a constant: no
+// gradient buffer is allocated and the backward bookkeeping for every op
+// touching it is skipped entirely — the eval-mode contract of the staged
+// inference engine (internal/infer).
+func ParamVar(t *autodiff.Tape, g *GradSet, name string, m *tensor.Matrix) *autodiff.Var {
+	if g == nil {
+		return t.Constant(m)
+	}
+	return g.Track(name, t.Param(m))
 }
 
 // Grad returns the gradient for name, or nil if the parameter did not

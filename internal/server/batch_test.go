@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPredictBatchEndpoint(t *testing.T) {
+	s := trainedServer(t)
+	batch := BatchRequest{Tables: []TableRequest{
+		sampleRequest("t1"),
+		{
+			Name: "Soccer Season",
+			Columns: []ColumnRequest{
+				{Header: "Team", Values: []string{"Arsenal", "Chelsea"}},
+				{Header: "Goals", Values: []string{"68", "51"}},
+			},
+		},
+	}}
+	rec := postJSON(t, s, "/v1/predict-batch", batch)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(resp.Results))
+	}
+
+	// The batched result must match the single-table endpoint exactly.
+	single := postJSON(t, s, "/v1/predict", batch.Tables[0])
+	var want PredictResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	got := resp.Results[0]
+	if len(got.Columns) != len(want.Columns) {
+		t.Fatalf("batch returned %d columns, single %d", len(got.Columns), len(want.Columns))
+	}
+	for i := range want.Columns {
+		if got.Columns[i] != want.Columns[i] {
+			t.Fatalf("col %d: batch %+v != single %+v", i, got.Columns[i], want.Columns[i])
+		}
+	}
+}
+
+func TestPredictBatchRejectsBadBodies(t *testing.T) {
+	s := trainedServer(t)
+	cases := []string{
+		`{`,               // malformed
+		`{"tables":[]}`,   // empty batch
+		`{"nope":true}`,   // unknown field
+		`{"tables":[{}]}`, // table with no columns
+	}
+	for _, body := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict-batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, rec.Code)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Fatalf("body %q: error response not JSON: %s", body, rec.Body)
+		}
+	}
+}
+
+// TestOversizedBodyGets413 exercises the MaxBytesReader path with a small
+// limit (the production caps are MB-scale constants; the handler logic is
+// identical).
+func TestOversizedBodyGets413(t *testing.T) {
+	big := `{"name":"` + strings.Repeat("x", 256) + `"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(big))
+	rec := httptest.NewRecorder()
+	var tr TableRequest
+	if decodeJSONBody(rec, req, 64, &tr) {
+		t.Fatal("decode of oversized body should fail")
+	}
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Fatalf("413 response not JSON: %s", rec.Body)
+	}
+}

@@ -1,11 +1,17 @@
 // Package server exposes a trained Pythagoras model and a discovery index
 // over HTTP — the integration surface for data-catalog and lake-management
-// tools. Endpoints:
+// tools. All prediction traffic flows through the staged inference engine
+// (internal/infer): single requests take the per-table path, and the batch
+// endpoint amortizes one union forward pass over many tables. Endpoints:
 //
 //	POST /v1/predict   {name, columns:[{header, values:[...]}]}
 //	                   → per-column semantic types with confidences
-//	POST /v1/index     same body; additionally adds the table to the
-//	                   discovery index (requires id)
+//	POST /v1/predict-batch
+//	                   {tables:[{name, columns:[...]}, ...]}
+//	                   → one result per table, computed in a single
+//	                   batched forward pass
+//	POST /v1/index     same body as /v1/predict; additionally adds the
+//	                   table to the discovery index (requires id)
 //	GET  /v1/search?type=a&type=b
 //	                   → tables containing all queried types
 //	GET  /v1/join?type=a[&limit=n]
@@ -14,10 +20,14 @@
 //	                   → union candidates ranked by semantic-type overlap
 //	GET  /v1/types     → indexed semantic types
 //	GET  /v1/healthz   → liveness + model/vocabulary info
+//
+// Request bodies are size-capped (http.MaxBytesReader); oversized payloads
+// get 413 and malformed ones 400, both as JSON errors.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -25,25 +35,40 @@ import (
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/discovery"
+	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/table"
 )
 
-// Server wires the model and index into an http.Handler.
+// Body-size caps for POST endpoints. The batch cap is larger because one
+// request legitimately carries many tables.
+const (
+	maxBodyBytes      = 16 << 20
+	maxBatchBodyBytes = 64 << 20
+)
+
+// Server wires the inference engine and index into an http.Handler.
 type Server struct {
-	model *core.Model
-	index *discovery.TypeIndex
-	mux   *http.ServeMux
+	engine *infer.Engine
+	index  *discovery.TypeIndex
+	mux    *http.ServeMux
 }
 
 // New builds a server around a trained model. minConfidence filters what
 // enters the discovery index.
 func New(m *core.Model, minConfidence float64) *Server {
+	return NewWithEngine(infer.New(m), minConfidence)
+}
+
+// NewWithEngine builds a server around a pre-configured inference engine
+// (custom worker counts, batch bounds).
+func NewWithEngine(eng *infer.Engine, minConfidence float64) *Server {
 	s := &Server{
-		model: m,
-		index: discovery.NewTypeIndex(minConfidence),
-		mux:   http.NewServeMux(),
+		engine: eng,
+		index:  discovery.NewTypeIndex(minConfidence),
+		mux:    http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/predict-batch", s.handlePredictBatch)
 	s.mux.HandleFunc("POST /v1/index", s.handleIndex)
 	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/join", s.handleJoin)
@@ -52,6 +77,9 @@ func New(m *core.Model, minConfidence float64) *Server {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
 }
+
+// model returns the engine's underlying model.
+func (s *Server) model() *core.Model { return s.engine.Model() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -88,6 +116,17 @@ type PredictResponse struct {
 	Table   string           `json:"table"`
 	Columns []ColumnResponse `json:"columns"`
 	Indexed bool             `json:"indexed,omitempty"`
+}
+
+// BatchRequest is the body of /v1/predict-batch.
+type BatchRequest struct {
+	Tables []TableRequest `json:"tables"`
+}
+
+// BatchResponse is the body returned by /v1/predict-batch; Results[i]
+// corresponds to Tables[i] of the request.
+type BatchResponse struct {
+	Results []PredictResponse `json:"results"`
 }
 
 type errorResponse struct {
@@ -145,26 +184,47 @@ func (tr *TableRequest) toTable() (*table.Table, error) {
 	return t, nil
 }
 
-func (s *Server) predict(tr *TableRequest) (*table.Table, *PredictResponse, error) {
-	t, err := tr.toTable()
-	if err != nil {
-		return nil, nil, err
-	}
+// toResponse converts engine predictions for t into the wire format.
+func toResponse(t *table.Table, preds []core.ColumnPrediction) *PredictResponse {
 	resp := &PredictResponse{Table: t.ID}
-	for _, p := range s.model.PredictTable(t) {
+	for _, p := range preds {
 		resp.Columns = append(resp.Columns, ColumnResponse{
 			Header: p.Header, Kind: p.Kind.String(), Type: p.Type, Confidence: p.Confidence,
 		})
 	}
-	return t, resp, nil
+	return resp
+}
+
+func (s *Server) predict(tr *TableRequest) (*table.Table, []core.ColumnPrediction, error) {
+	t, err := tr.toTable()
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, s.engine.Predict(t), nil
+}
+
+// decodeJSONBody decodes a size-capped JSON body into v, writing the JSON
+// error response itself on failure: 413 when the body exceeds limit, 400
+// for malformed or unknown-field payloads.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
 }
 
 func decodeTableRequest(w http.ResponseWriter, r *http.Request) (*TableRequest, bool) {
 	var tr TableRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&tr); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSONBody(w, r, maxBodyBytes, &tr) {
 		return nil, false
 	}
 	return &tr, true
@@ -175,10 +235,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	_, resp, err := s.predict(tr)
+	t, preds, err := s.predict(tr)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(t, preds))
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var br BatchRequest
+	if !decodeJSONBody(w, r, maxBatchBodyBytes, &br) {
+		return
+	}
+	if len(br.Tables) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch needs at least one table")
+		return
+	}
+	tables := make([]*table.Table, len(br.Tables))
+	for i := range br.Tables {
+		t, err := br.Tables[i].toTable()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "table %d: %v", i, err)
+			return
+		}
+		tables[i] = t
+	}
+	batch := s.engine.PredictBatch(tables)
+	resp := BatchResponse{Results: make([]PredictResponse, len(batch))}
+	for i, preds := range batch {
+		resp.Results[i] = *toResponse(tables[i], preds)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -192,12 +278,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "indexing requires a table id")
 		return
 	}
-	t, resp, err := s.predict(tr)
+	t, preds, err := s.predict(tr)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.index.AddTable(s.model, t)
+	// One inference pass serves both the response and the index update.
+	s.index.AddPredictions(t, preds)
+	resp := toResponse(t, preds)
 	resp.Indexed = true
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -223,7 +311,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"indexed":    s.index.Types(),
-		"vocabulary": len(s.model.Types()),
+		"vocabulary": len(s.model().Types()),
 	})
 }
 
@@ -231,7 +319,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.index.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"types":          len(s.model.Types()),
+		"types":          len(s.model().Types()),
 		"indexed_tables": st.Tables,
 		"indexed_cols":   st.Columns,
 	})

@@ -31,6 +31,7 @@ import (
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
 	"github.com/sematype/pythagoras/internal/graph"
+	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/table"
 )
@@ -98,6 +99,26 @@ func PaperScaleEncoderConfig() EncoderConfig { return lm.PaperScaleConfig() }
 
 // DefaultConfig returns the default training configuration around enc.
 func DefaultConfig(enc *Encoder) Config { return core.DefaultConfig(enc) }
+
+// Engine is the staged inference engine (Encode → BuildGraph → Forward):
+// the production serving path. It prepares tables in parallel and unions
+// their graphs into one forward pass; Engine.PredictBatch output is
+// bit-identical to looping Model.PredictTable.
+type Engine = infer.Engine
+
+// NewEngine builds an inference engine around a trained model.
+func NewEngine(m *Model, opts ...EngineOption) *Engine { return infer.New(m, opts...) }
+
+// EngineOption configures an Engine (worker pool size, forward-pass batch
+// bound).
+type EngineOption = infer.Option
+
+// WithWorkers sets the engine's prepare-stage worker count.
+var WithWorkers = infer.WithWorkers
+
+// WithMaxBatch sets how many tables the engine's Evaluate unions per
+// forward pass.
+var WithMaxBatch = infer.WithMaxBatch
 
 // Train fits a Pythagoras model on corpus using the given table index
 // splits (validation drives early stopping; pass nil to disable).
