@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench experiments experiments-full corpora clean
+.PHONY: check build test vet race bench bench-json experiments experiments-full corpora clean
+
+# The default pre-merge gate: compile, lint, unit tests, then the race pass
+# over the concurrent serving path.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -21,6 +25,17 @@ race:
 # One quick-scale pass per paper table/figure plus component micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Machine-readable serving-latency baseline: ns/op for PredictBatch at batch
+# sizes 1/4/16, written to BENCH_infer.json for regression tracking.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictBatch/' -benchtime=10x . \
+		| awk 'BEGIN { printf "{" } \
+		       /^BenchmarkPredictBatch\// { \
+		           name=$$1; sub(/^BenchmarkPredictBatch\//, "", name); sub(/-[0-9]+$$/, "", name); \
+		           if (n++) printf ","; printf "\n  \"%s_ns_per_op\": %s", name, $$3 } \
+		       END { printf "\n}\n" }' \
+		| tee BENCH_infer.json
 
 # Reproduce the paper's evaluation at reduced scale (minutes).
 experiments:

@@ -25,6 +25,7 @@ import (
 	"github.com/sematype/pythagoras/internal/graph"
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/table"
 )
 
@@ -233,6 +234,27 @@ func BenchmarkPredictTable(b *testing.B) {
 func BenchmarkPredictBatch(b *testing.B) {
 	m, c := benchModel(b)
 	eng := infer.New(m)
+	for _, size := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tables%d", size), func(b *testing.B) {
+			tables := make([]*table.Table, size)
+			for i := range tables {
+				tables[i] = c.Tables[i%len(c.Tables)]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.PredictBatch(tables)
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "tables/sec")
+		})
+	}
+}
+
+// BenchmarkPredictBatchInstrumented is BenchmarkPredictBatch with a metrics
+// registry attached — compare against the plain run to measure the
+// observability overhead (budget: <2% at batch 16).
+func BenchmarkPredictBatchInstrumented(b *testing.B) {
+	m, c := benchModel(b)
+	eng := infer.New(m, infer.WithMetrics(obs.NewRegistry()))
 	for _, size := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("tables%d", size), func(b *testing.B) {
 			tables := make([]*table.Table, size)

@@ -14,18 +14,21 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"strings"
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
+	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/server"
 	"github.com/sematype/pythagoras/internal/table"
 )
@@ -88,6 +91,7 @@ func cmdTrain(args []string) {
 	epochs := fs.Int("epochs", 150, "training epochs")
 	lr := fs.Float64("lr", 1e-2, "initial learning rate (linearly decayed)")
 	seed := fs.Int64("seed", 1, "random seed")
+	metrics := fs.Bool("metrics", false, "stream a JSON metrics snapshot to stdout after every epoch")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 	if *dataDir == "" {
@@ -106,6 +110,20 @@ func cmdTrain(args []string) {
 	cfg.LearningRate = *lr
 	cfg.Seed = *seed
 	cfg.Logf = log.Printf
+	if *metrics {
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		// Piggyback on the trainer's per-epoch progress line: every time one
+		// is emitted, follow it with a machine-readable snapshot on stdout.
+		cfg.Logf = func(format string, args ...any) {
+			log.Printf(format, args...)
+			if strings.HasPrefix(format, "pythagoras: epoch") {
+				if raw, err := json.Marshal(reg.Snapshot()); err == nil {
+					fmt.Println(string(raw))
+				}
+			}
+		}
+	}
 
 	m, err := core.Train(c, train, val, cfg)
 	if err != nil {
@@ -210,6 +228,7 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	minConf := fs.Float64("min-confidence", 0.3, "discovery-index confidence threshold")
 	workers := fs.Int("workers", 0, "inference prepare workers (0 = NumCPU)")
+	debug := fs.Bool("debug", false, "mount /debug/pprof and /debug/vars")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 
@@ -217,7 +236,9 @@ func cmdServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := server.NewWithEngine(infer.New(m, infer.WithWorkers(*workers)), *minConf)
-	log.Printf("pythagoras serving on %s (vocabulary: %d types)", *addr, len(m.Types()))
+	eng := infer.New(m, infer.WithWorkers(*workers), infer.WithMetrics(obs.NewRegistry()))
+	srv := server.NewWithEngine(eng, *minConf,
+		server.WithLogger(log.Default()), server.WithDebug(*debug))
+	log.Printf("pythagoras serving on %s (vocabulary: %d types, debug=%v)", *addr, len(m.Types()), *debug)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

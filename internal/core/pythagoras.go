@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"github.com/sematype/pythagoras/internal/autodiff"
 	"github.com/sematype/pythagoras/internal/colfeat"
@@ -25,6 +26,7 @@ import (
 	"github.com/sematype/pythagoras/internal/graph"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/nn"
+	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/table"
 	"github.com/sematype/pythagoras/internal/tensor"
 )
@@ -64,6 +66,11 @@ type Config struct {
 	PlainLMStates bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives per-epoch training telemetry through the
+	// same registry the serving path uses (DESIGN.md §8): train.epoch,
+	// train.loss and train.val.weighted_f1 gauges, the train.epoch.seconds
+	// histogram and the train.steps counter.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the training configuration used by the experiment
@@ -120,6 +127,10 @@ func (m *Model) Types() []string { return m.types }
 
 // Params exposes the trainable parameters (persistence, inspection).
 func (m *Model) Params() *nn.Params { return m.params }
+
+// Encoder exposes the frozen LM encoder (observability: its cache gauges
+// are registered alongside the inference engine's stage metrics).
+func (m *Model) Encoder() *lm.Encoder { return m.enc }
 
 // newModel builds an untrained model for the vocabulary.
 func newModel(cfg Config, types []string) *Model {
@@ -508,7 +519,16 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 	totalSteps := cfg.Epochs * ((len(trainPrep) + batch - 1) / batch)
 	step := 0
 
+	// Training telemetry flows through the same registry shape the serving
+	// path uses; all handles are nil (free no-ops) when cfg.Metrics is unset.
+	epochGauge := cfg.Metrics.Gauge("train.epoch")
+	lossGauge := cfg.Metrics.Gauge("train.loss")
+	valF1Gauge := cfg.Metrics.Gauge("train.val.weighted_f1")
+	epochHist := cfg.Metrics.Histogram("train.epoch.seconds", nil)
+	stepCounter := cfg.Metrics.Counter("train.steps")
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(trainPrep), func(i, j int) { trainPrep[i], trainPrep[j] = trainPrep[j], trainPrep[i] })
 		var epochLoss float64
 		var steps int
@@ -531,12 +551,17 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 			opt.SetLR(nn.LinearDecay(cfg.LearningRate, step, totalSteps))
 			opt.Step(m.params, grads)
 			step++
+			stepCounter.Inc()
 			epochLoss += loss.Value.Data[0]
 			steps++
 		}
+		epochGauge.Set(float64(epoch))
+		lossGauge.Set(epochLoss / float64(steps))
+		epochHist.Since(epochStart)
 
 		if len(valPrep) > 0 {
 			valF1 := m.scorePrepared(valPrep).Overall.WeightedF1
+			valF1Gauge.Set(valF1)
 			logf("pythagoras: epoch %d loss=%.4f val-wF1=%.4f", epoch, epochLoss/float64(steps), valF1)
 			if stopper.Observe(epoch, valF1, m.params) {
 				best, bestEpoch := stopper.Best()

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/data"
@@ -47,6 +48,10 @@ type Engine struct {
 	// (default 16 — the training loop's default batch size). Larger batches
 	// are split into chunks run concurrently across the worker pool.
 	maxBatch int
+	// metrics, when non-nil, receives per-stage latency histograms,
+	// chunk-size distributions and pool utilization (see metrics.go). Nil
+	// costs one branch per stage — the no-sink-attached fast path.
+	metrics *engineMetrics
 }
 
 // Option configures an Engine.
@@ -78,15 +83,41 @@ func New(m *core.Model, opts ...Option) *Engine {
 func (e *Engine) Model() *core.Model { return e.model }
 
 // Predict runs the staged pipeline on a single table. It is equivalent to
-// (and implemented as) core.Model.PredictTable.
+// (and, uninstrumented, implemented as) core.Model.PredictTable; with
+// metrics attached it runs the same three stage calls PredictTable is made
+// of, timing each — the output is bit-identical either way.
 func (e *Engine) Predict(t *table.Table) []core.ColumnPrediction {
-	return e.model.PredictTable(t)
+	m := e.metrics
+	if m == nil {
+		return e.model.PredictTable(t)
+	}
+	t0 := time.Now()
+	p := e.model.PrepareForPrediction(t)
+	m.prepare.Since(t0)
+	t0 = time.Now()
+	probs, targets := e.model.InferProbs(p)
+	m.forward.Since(t0)
+	t0 = time.Now()
+	out := e.model.DecodePredictions(p, probs, targets, 0, len(targets), t)
+	m.decode.Since(t0)
+	m.tables.Inc()
+	return out
 }
 
 // parallelFor runs fn(0..n-1) over the engine's worker pool. Used for both
 // the prepare stage and the chunked forward stage: both only read the frozen
-// model and the internally synchronized encoder cache.
+// model and the internally synchronized encoder cache. When instrumented,
+// the infer.workers.busy gauge tracks how many pool workers are inside fn —
+// sampled by registry snapshots, it is the pool-utilization signal.
 func (e *Engine) parallelFor(n int, fn func(i int)) {
+	if m := e.metrics; m != nil {
+		inner := fn
+		fn = func(i int) {
+			m.busy.Add(1)
+			defer m.busy.Add(-1)
+			inner(i)
+		}
+	}
 	workers := e.workers
 	if workers > n {
 		workers = n
@@ -140,13 +171,29 @@ func (e *Engine) chunkBounds(n int) [][2]int {
 
 // forwardChunk runs one gradient-free forward over ps[lo:hi] (unioned when
 // the chunk holds more than one table) and returns the chunk's prepared
-// input, class probabilities and target-node list.
+// input, class probabilities and target-node list. Instrumented, it times
+// the graph-union and forward stages separately (a single-table chunk still
+// observes its ~zero union cost, so the union histogram's count always
+// matches the chunk count).
 func (e *Engine) forwardChunk(ps []*core.Prepared, lo, hi int) (*core.Prepared, *tensor.Matrix, []int) {
+	m := e.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	p := ps[lo]
 	if hi-lo > 1 {
 		p = core.UnionPrepared(ps[lo:hi])
 	}
+	if m != nil {
+		m.union.Since(t0)
+		m.chunks.Observe(float64(hi - lo))
+		t0 = time.Now()
+	}
 	probs, targets := e.model.InferProbs(p)
+	if m != nil {
+		m.forward.Since(t0)
+	}
 	return p, probs, targets
 }
 
@@ -157,16 +204,33 @@ func (e *Engine) forwardChunk(ps []*core.Prepared, lo, hi int) (*core.Prepared, 
 // chunk, chunks in parallel. Output i corresponds to input i and is
 // bit-identical to Predict(ts[i]).
 func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
+	m := e.metrics
 	switch len(ts) {
 	case 0:
 		return nil
 	case 1:
-		return [][]core.ColumnPrediction{e.Predict(ts[0])}
+		if m != nil {
+			m.batches.Inc()
+			m.batch.Observe(1)
+		}
+		return [][]core.ColumnPrediction{e.Predict(ts[0])} // Predict counts the table
+	}
+	if m != nil {
+		m.batches.Inc()
+		m.tables.Add(uint64(len(ts)))
+		m.batch.Observe(float64(len(ts)))
 	}
 
 	ps := make([]*core.Prepared, len(ts))
 	e.parallelFor(len(ts), func(i int) {
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		ps[i] = e.model.PrepareForPrediction(ts[i])
+		if m != nil {
+			m.prepare.Since(t0)
+		}
 	})
 
 	out := make([][]core.ColumnPrediction, len(ts))
@@ -174,11 +238,18 @@ func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
 	e.parallelFor(len(bounds), func(c int) {
 		clo, chi := bounds[c][0], bounds[c][1]
 		p, probs, targets := e.forwardChunk(ps, clo, chi)
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		lo := 0
 		for i := clo; i < chi; i++ {
 			hi := lo + len(ps[i].Graph.TargetNodes())
 			out[i] = e.model.DecodePredictions(p, probs, targets, lo, hi, ts[i])
 			lo = hi
+		}
+		if m != nil {
+			m.decode.Since(t0)
 		}
 	})
 	return out
@@ -189,20 +260,40 @@ func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
 // maxBatch tables each. The returned metrics and prediction list are
 // identical to core.Model.Evaluate on the same indices.
 func (e *Engine) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Prediction) {
+	m := e.metrics
 	ps := make([]*core.Prepared, len(idx))
 	e.parallelFor(len(idx), func(i int) {
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		ps[i] = e.model.Prepare(c.Tables[idx[i]])
+		if m != nil {
+			m.prepare.Since(t0)
+		}
 	})
 
 	bounds := e.chunkBounds(len(ps))
 	chunkPreds := make([][]eval.Prediction, len(bounds))
 	e.parallelFor(len(bounds), func(ci int) {
 		lo, hi := bounds[ci][0], bounds[ci][1]
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		p := ps[lo]
 		if hi-lo > 1 {
 			p = core.UnionPrepared(ps[lo:hi])
 		}
+		if m != nil {
+			m.union.Since(t0)
+			m.chunks.Observe(float64(hi - lo))
+			t0 = time.Now()
+		}
 		chunkPreds[ci] = e.model.LabeledPredictions(p)
+		if m != nil {
+			m.forward.Since(t0)
+		}
 	})
 	var preds []eval.Prediction
 	for _, cp := range chunkPreds {

@@ -131,11 +131,11 @@ func TestChunkingInvariance(t *testing.T) {
 // bounded by maxBatch.
 func TestChunkBounds(t *testing.T) {
 	for _, tc := range []struct{ n, workers, maxBatch, chunks int }{
-		{16, 1, 16, 1},  // one worker: a single whole-input union
-		{16, 4, 16, 4},  // spread across the pool
-		{16, 4, 3, 6},   // maxBatch caps the chunk size
-		{5, 8, 16, 5},   // more workers than tables: one table per chunk
-		{0, 4, 16, 0},   // empty input
+		{16, 1, 16, 1}, // one worker: a single whole-input union
+		{16, 4, 16, 4}, // spread across the pool
+		{16, 4, 3, 6},  // maxBatch caps the chunk size
+		{5, 8, 16, 5},  // more workers than tables: one table per chunk
+		{0, 4, 16, 0},  // empty input
 		{1, 4, 16, 1},
 	} {
 		e := &Engine{workers: tc.workers, maxBatch: tc.maxBatch}

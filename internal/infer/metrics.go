@@ -1,0 +1,82 @@
+package infer
+
+import (
+	"github.com/sematype/pythagoras/internal/obs"
+)
+
+// chunkBuckets sizes the chunk/batch histograms: power-of-two table counts
+// up to 4096 (the engine never unions more than maxBatch, but batch-size
+// distribution above it is still informative).
+var chunkBuckets = obs.ExpBuckets(1, 2, 13)
+
+// engineMetrics holds the engine's pre-resolved metric handles (DESIGN.md
+// §8). Handles are looked up once at wiring time so the serving path pays
+// only atomic updates; a nil *engineMetrics (observability off) costs one
+// branch per stage.
+//
+//	infer.stage.prepare.seconds   histogram, one observation per table
+//	infer.stage.union.seconds     histogram, one observation per chunk
+//	infer.stage.forward.seconds   histogram, one observation per chunk
+//	infer.stage.decode.seconds    histogram, one observation per chunk
+//	infer.chunk.tables            histogram of union-chunk sizes
+//	infer.batch.tables            histogram of PredictBatch input sizes
+//	infer.workers.busy            gauge, currently running pool workers
+//	infer.batches / infer.tables  cumulative request counters
+type engineMetrics struct {
+	reg     *obs.Registry
+	prepare *obs.Histogram
+	union   *obs.Histogram
+	forward *obs.Histogram
+	decode  *obs.Histogram
+	chunks  *obs.Histogram
+	batch   *obs.Histogram
+	busy    *obs.Gauge
+	batches *obs.Counter
+	tables  *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:     reg,
+		prepare: reg.Histogram("infer.stage.prepare.seconds", nil),
+		union:   reg.Histogram("infer.stage.union.seconds", nil),
+		forward: reg.Histogram("infer.stage.forward.seconds", nil),
+		decode:  reg.Histogram("infer.stage.decode.seconds", nil),
+		chunks:  reg.Histogram("infer.chunk.tables", chunkBuckets),
+		batch:   reg.Histogram("infer.batch.tables", chunkBuckets),
+		busy:    reg.Gauge("infer.workers.busy"),
+		batches: reg.Counter("infer.batches"),
+		tables:  reg.Counter("infer.tables"),
+	}
+}
+
+// WithMetrics wires the engine's per-stage instrumentation into reg (nil
+// disables instrumentation, the default).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) { e.EnableMetrics(reg) }
+}
+
+// EnableMetrics attaches a metrics registry to the engine: per-stage
+// latency histograms, worker-pool utilization and chunk-size distributions,
+// plus the underlying encoder's cache gauges. It must be called before the
+// engine serves traffic (it is not synchronized against concurrent
+// Predict/PredictBatch calls); once a registry is attached, later calls are
+// no-ops.
+func (e *Engine) EnableMetrics(reg *obs.Registry) {
+	if reg == nil || e.metrics != nil {
+		return
+	}
+	e.metrics = newEngineMetrics(reg)
+	if enc := e.model.Encoder(); enc != nil {
+		enc.RegisterMetrics(reg)
+	}
+}
+
+// Metrics returns the registry the engine records into (nil when
+// uninstrumented).
+func (e *Engine) Metrics() *obs.Registry {
+	if e.metrics == nil {
+		return nil
+	}
+	return e.metrics.reg
+}

@@ -1,0 +1,141 @@
+package infer
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// TestMetricsPopulatedByPredictBatch: after one batched call, every stage
+// histogram has observations with the expected cardinality — one per table
+// for prepare, one per chunk for union/forward/decode.
+func TestMetricsPopulatedByPredictBatch(t *testing.T) {
+	m, c := trainedModel(t)
+	reg := obs.NewRegistry()
+	eng := New(m, WithWorkers(4), WithMaxBatch(4), WithMetrics(reg))
+	if eng.Metrics() != reg {
+		t.Fatal("Metrics() should return the wired registry")
+	}
+
+	tables := c.Tables[:8]
+	eng.PredictBatch(tables)
+
+	s := reg.Snapshot()
+	wantChunks := uint64(len(eng.chunkBounds(len(tables))))
+	for name, want := range map[string]uint64{
+		"infer.stage.prepare.seconds": uint64(len(tables)),
+		"infer.stage.union.seconds":   wantChunks,
+		"infer.stage.forward.seconds": wantChunks,
+		"infer.stage.decode.seconds":  wantChunks,
+		"infer.chunk.tables":          wantChunks,
+		"infer.batch.tables":          1,
+	} {
+		if got := s.Histograms[name].Count; got != want {
+			t.Errorf("%s count = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Counters["infer.batches"]; got != 1 {
+		t.Errorf("infer.batches = %d, want 1", got)
+	}
+	if got := s.Counters["infer.tables"]; got != uint64(len(tables)) {
+		t.Errorf("infer.tables = %d, want %d", got, len(tables))
+	}
+	// Pool fully drained: the busy gauge must be back to zero.
+	if got := s.Gauges["infer.workers.busy"]; got != 0 {
+		t.Errorf("infer.workers.busy = %v after batch, want 0", got)
+	}
+	// EnableMetrics also registers the encoder cache gauges.
+	if _, ok := s.Gauges["lm.cache.text.entries"]; !ok {
+		t.Error("encoder cache gauges not registered")
+	}
+}
+
+// TestMetricsSingleTablePaths: Predict and the 1-table PredictBatch
+// shortcut must count tables exactly once.
+func TestMetricsSingleTablePaths(t *testing.T) {
+	m, c := trainedModel(t)
+	reg := obs.NewRegistry()
+	eng := New(m, WithMetrics(reg))
+
+	eng.Predict(c.Tables[0])
+	eng.PredictBatch(c.Tables[:1])
+
+	s := reg.Snapshot()
+	if got := s.Counters["infer.tables"]; got != 2 {
+		t.Fatalf("infer.tables = %d, want 2", got)
+	}
+	if got := s.Counters["infer.batches"]; got != 1 {
+		t.Fatalf("infer.batches = %d, want 1", got)
+	}
+	if got := s.Histograms["infer.stage.prepare.seconds"].Count; got != 2 {
+		t.Fatalf("prepare count = %d, want 2", got)
+	}
+	if got := s.Histograms["infer.stage.decode.seconds"].Count; got != 2 {
+		t.Fatalf("decode count = %d, want 2", got)
+	}
+}
+
+// TestInstrumentationPreservesOutput: metrics must be observational only —
+// instrumented and uninstrumented engines produce identical predictions.
+func TestInstrumentationPreservesOutput(t *testing.T) {
+	m, c := trainedModel(t)
+	plain := New(m, WithWorkers(3), WithMaxBatch(3))
+	inst := New(m, WithWorkers(3), WithMaxBatch(3), WithMetrics(obs.NewRegistry()))
+
+	tables := c.Tables[:7]
+	want := plain.PredictBatch(tables)
+	got := inst.PredictBatch(tables)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("instrumented PredictBatch diverged from uninstrumented")
+	}
+	if !reflect.DeepEqual(plain.Predict(tables[0]), inst.Predict(tables[0])) {
+		t.Fatal("instrumented Predict diverged from uninstrumented")
+	}
+}
+
+// TestMetricsDefaultOff: without WithMetrics the engine records nothing.
+func TestMetricsDefaultOff(t *testing.T) {
+	m, c := trainedModel(t)
+	eng := New(m)
+	if eng.Metrics() != nil {
+		t.Fatal("default engine should be uninstrumented")
+	}
+	eng.PredictBatch(c.Tables[:3]) // must not panic on nil metric handles
+}
+
+// TestMetricsConcurrentPredictBatch hammers a shared instrumented engine
+// from many goroutines while snapshots run — the acceptance race test for
+// registry snapshots under concurrent PredictBatch load.
+func TestMetricsConcurrentPredictBatch(t *testing.T) {
+	m, c := trainedModel(t)
+	reg := obs.NewRegistry()
+	eng := New(m, WithWorkers(2), WithMaxBatch(3), WithMetrics(reg))
+
+	const callers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tables := []*table.Table{
+				c.Tables[g%len(c.Tables)],
+				c.Tables[(g+1)%len(c.Tables)],
+				c.Tables[(g+2)%len(c.Tables)],
+				c.Tables[(g+3)%len(c.Tables)],
+			}
+			for rep := 0; rep < 3; rep++ {
+				eng.PredictBatch(tables)
+				_ = reg.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := reg.Snapshot()
+	if got := s.Counters["infer.tables"]; got != callers*3*4 {
+		t.Fatalf("infer.tables = %d, want %d", got, callers*3*4)
+	}
+}

@@ -24,9 +24,12 @@ type cacheShard struct {
 // latency, never correctness (same policy the old single-map cache used,
 // now per shard and applying to both token and text caches).
 type vecCache struct {
-	shards       [numShards]cacheShard
-	shardCap     int // max entries per shard before reset
-	hits, misses atomic.Uint64
+	shards   [numShards]cacheShard
+	shardCap int // max entries per shard before reset
+	// hits/misses/evicted are cumulative since the last stats reset;
+	// evicted counts entries dropped by wholesale shard resets, the signal
+	// for cache thrash in long-running serve processes.
+	hits, misses, evicted atomic.Uint64
 }
 
 func newVecCache(totalCap int) *vecCache {
@@ -75,6 +78,7 @@ func (c *vecCache) put(key string, v []float64) []float64 {
 		return prev
 	}
 	if len(s.m) >= c.shardCap {
+		c.evicted.Add(uint64(len(s.m)))
 		s.m = make(map[string][]float64)
 	}
 	s.m[key] = v
@@ -93,23 +97,51 @@ func (c *vecCache) len() int {
 	return n
 }
 
+// resetStats zeroes the hit/miss/eviction counters (entries stay cached).
+func (c *vecCache) resetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evicted.Store(0)
+}
+
 // CacheStats reports the encoder's embedding-cache effectiveness: entry
-// counts and cumulative hit/miss counters for the token-embedding and
-// full-text CLS caches. Counters are monotone over the encoder's lifetime.
+// counts and cumulative hit/miss/eviction counters for the token-embedding
+// and full-text CLS caches. Counters are monotone between ResetCacheStats
+// calls. EntriesEvicted counts entries dropped by capacity resets — a
+// steadily climbing value on a long-running serve process means the working
+// set exceeds the cache bound (cache thrash) and recomputation is eating
+// latency.
 type CacheStats struct {
-	TokenEntries, TextEntries int
-	TokenHits, TokenMisses    uint64
-	TextHits, TextMisses      uint64
+	TokenEntries, TextEntries               int
+	TokenHits, TokenMisses                  uint64
+	TextHits, TextMisses                    uint64
+	TokenEntriesEvicted, TextEntriesEvicted uint64
+}
+
+// EntriesEvicted returns the total entries dropped across both caches.
+func (s CacheStats) EntriesEvicted() uint64 {
+	return s.TokenEntriesEvicted + s.TextEntriesEvicted
 }
 
 // CacheStats returns a snapshot of the embedding caches.
 func (e *Encoder) CacheStats() CacheStats {
 	return CacheStats{
-		TokenEntries: e.tokenVecs.len(),
-		TextEntries:  e.textVecs.len(),
-		TokenHits:    e.tokenVecs.hits.Load(),
-		TokenMisses:  e.tokenVecs.misses.Load(),
-		TextHits:     e.textVecs.hits.Load(),
-		TextMisses:   e.textVecs.misses.Load(),
+		TokenEntries:        e.tokenVecs.len(),
+		TextEntries:         e.textVecs.len(),
+		TokenHits:           e.tokenVecs.hits.Load(),
+		TokenMisses:         e.tokenVecs.misses.Load(),
+		TextHits:            e.textVecs.hits.Load(),
+		TextMisses:          e.textVecs.misses.Load(),
+		TokenEntriesEvicted: e.tokenVecs.evicted.Load(),
+		TextEntriesEvicted:  e.textVecs.evicted.Load(),
 	}
+}
+
+// ResetCacheStats zeroes the hit/miss/eviction counters of both caches
+// without dropping any cached vectors. Long-running serve processes reset
+// between measurement windows so rates (hit ratio, evictions/interval) are
+// computable from two snapshots of a fresh window.
+func (e *Encoder) ResetCacheStats() {
+	e.tokenVecs.resetStats()
+	e.textVecs.resetStats()
 }

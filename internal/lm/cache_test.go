@@ -33,6 +33,39 @@ func TestCacheBoundResetsShards(t *testing.T) {
 	if n := c.len(); n > 2*numShards {
 		t.Fatalf("cache grew to %d entries despite bound of %d per shard", n, 1)
 	}
+	if c.evicted.Load() == 0 {
+		t.Fatal("shard resets should count evicted entries")
+	}
+}
+
+// TestCacheStatsResetAndEvictions: eviction counters surface cache thrash,
+// and ResetCacheStats opens a fresh measurement window without dropping
+// cached vectors.
+func TestCacheStatsResetAndEvictions(t *testing.T) {
+	e := NewEncoder(Config{Dim: 16, Layers: 1, Heads: 2, FFNDim: 32, MaxLen: 64, Buckets: 1 << 10, Seed: 1})
+	// Shrink the text cache to one entry per shard so distinct texts thrash.
+	e.textVecs = newVecCache(numShards)
+	for i := 0; i < 5*numShards; i++ {
+		e.Encode(fmt.Sprintf("column header %d", i))
+	}
+	st := e.CacheStats()
+	if st.TextEntriesEvicted == 0 {
+		t.Fatal("expected text-cache evictions under thrash")
+	}
+	if st.EntriesEvicted() < st.TextEntriesEvicted {
+		t.Fatal("EntriesEvicted must include both caches")
+	}
+	entries := st.TextEntries
+
+	e.ResetCacheStats()
+	st = e.CacheStats()
+	if st.TextHits != 0 || st.TextMisses != 0 || st.TokenHits != 0 ||
+		st.TokenMisses != 0 || st.EntriesEvicted() != 0 {
+		t.Fatalf("counters survived reset: %+v", st)
+	}
+	if st.TextEntries != entries {
+		t.Fatalf("reset dropped cached entries: %d -> %d", entries, st.TextEntries)
+	}
 }
 
 func TestCachePutReturnsCanonicalVector(t *testing.T) {

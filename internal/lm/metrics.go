@@ -1,0 +1,26 @@
+package lm
+
+import "github.com/sematype/pythagoras/internal/obs"
+
+// RegisterMetrics exports the encoder's embedding-cache statistics as
+// gauges on the registry, evaluated lazily at snapshot time (DESIGN.md §8):
+//
+//	lm.cache.{token,text}.entries   current entry count
+//	lm.cache.{token,text}.hits      cumulative hits since last reset
+//	lm.cache.{token,text}.misses    cumulative misses since last reset
+//	lm.cache.{token,text}.evicted   entries dropped by capacity resets
+//
+// Nil-safe: a nil registry registers nothing.
+func (e *Encoder) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	caches := map[string]*vecCache{"token": e.tokenVecs, "text": e.textVecs}
+	for name, c := range caches {
+		c := c
+		reg.GaugeFunc("lm.cache."+name+".entries", func() float64 { return float64(c.len()) })
+		reg.GaugeFunc("lm.cache."+name+".hits", func() float64 { return float64(c.hits.Load()) })
+		reg.GaugeFunc("lm.cache."+name+".misses", func() float64 { return float64(c.misses.Load()) })
+		reg.GaugeFunc("lm.cache."+name+".evicted", func() float64 { return float64(c.evicted.Load()) })
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation: one
+// atomic add per bucket hit plus CAS updates of sum/min/max. Values above
+// the top bucket land in an implicit +Inf overflow bucket; quantile
+// estimates for that bucket report the observed maximum instead of
+// extrapolating. All methods are nil-safe no-ops.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds; len k
+	buckets []atomic.Uint64 // len k+1; last is the +Inf overflow bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	minBits atomic.Uint64 // float64 bits; +Inf until first observation
+	maxBits atomic.Uint64 // float64 bits; -Inf until first observation
+}
+
+// NewHistogram builds a histogram over the given bucket upper bounds (nil
+// selects DefBuckets). Bounds are copied and sorted.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &Histogram{
+		bounds:  sortedCopy(bounds),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = overflow
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	casAdd(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+// Since observes the elapsed seconds from t0 — the idiom for stage timing:
+//
+//	t0 := time.Now(); ...work...; hist.Since(t0)
+func (h *Histogram) Since(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+func casAdd(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Bucket pairs an upper bound with the count of observations ≤ it that did
+// not fit a lower bucket. The implicit +Inf bucket is reported separately
+// as HistogramSnapshot.Overflow (encoding/json rejects +Inf bounds).
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view: totals, observed extrema,
+// per-bucket counts and interpolated quantile estimates.
+type HistogramSnapshot struct {
+	Count    uint64   `json:"count"`
+	Sum      float64  `json:"sum"`
+	Min      float64  `json:"min"`
+	Max      float64  `json:"max"`
+	Overflow uint64   `json:"overflow,omitempty"` // observations above the top bound
+	Buckets  []Bucket `json:"buckets,omitempty"`
+	P50      float64  `json:"p50"`
+	P90      float64  `json:"p90"`
+	P99      float64  `json:"p99"`
+}
+
+// Snapshot captures the histogram. Safe concurrently with Observe; an
+// in-flight observation may appear in a bucket slightly before the totals.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		Sum:      math.Float64frombits(h.sumBits.Load()),
+		Overflow: h.buckets[len(h.bounds)].Load(),
+		Buckets:  make([]Bucket, 0, len(h.bounds)),
+	}
+	if s.Count == 0 {
+		return HistogramSnapshot{}
+	}
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	for i, ub := range h.bounds {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: c})
+		}
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P90 = h.Quantile(0.90)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank, clamped to the observed
+// [min, max]. With zero observations it returns 0; ranks landing in the
+// overflow bucket return the observed maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	min := math.Float64frombits(h.minBits.Load())
+	max := math.Float64frombits(h.maxBits.Load())
+	rank := q * float64(total)
+	var cum float64
+	lower := 0.0
+	for i, ub := range h.bounds {
+		c := float64(h.buckets[i].Load())
+		if c > 0 && cum+c >= rank {
+			frac := (rank - cum) / c
+			return clamp(lower+frac*(ub-lower), min, max)
+		}
+		cum += c
+		lower = ub
+	}
+	return max // overflow bucket: report the observed extreme, don't extrapolate
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

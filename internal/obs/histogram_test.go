@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramZeroObservations: an untouched histogram must report a fully
+// zero snapshot (no ±Inf min/max leaking out) and quantile 0.
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || s.Overflow != 0 {
+		t.Fatalf("zero-observation snapshot not zero: %+v", s)
+	}
+	if len(s.Buckets) != 0 {
+		t.Fatalf("zero-observation snapshot has buckets: %+v", s.Buckets)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) = %v on empty histogram", q, got)
+		}
+	}
+}
+
+// TestHistogramOverflow: values above the top bucket land in the overflow
+// bucket, and quantiles falling there report the observed max rather than
+// extrapolating past the bucket boundaries.
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1000)
+	h.Observe(2000)
+	h.Observe(3000)
+	s := h.Snapshot()
+	if s.Count != 4 || s.Overflow != 3 {
+		t.Fatalf("count=%d overflow=%d, want 4/3", s.Count, s.Overflow)
+	}
+	if s.Max != 3000 || s.Min != 0.5 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// p50 onward land in the overflow bucket → observed max.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); got != 3000 {
+			t.Fatalf("Quantile(%v) = %v, want observed max 3000", q, got)
+		}
+	}
+	if got := h.Quantile(0.1); got != 0.5 {
+		t.Fatalf("Quantile(0.1) = %v, want clamped to min 0.5", got)
+	}
+}
+
+// TestHistogramQuantileInterpolation checks in-bucket linear interpolation
+// against a uniform fill of one bucket.
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for i := 0; i < 100; i++ {
+		h.Observe(10 + float64(i)/10) // uniform over [10, 20)
+	}
+	got := h.Quantile(0.5)
+	if math.Abs(got-15) > 1 {
+		t.Fatalf("p50 = %v, want ≈15", got)
+	}
+	got = h.Quantile(0.9)
+	if math.Abs(got-19) > 1 {
+		t.Fatalf("p90 = %v, want ≈19", got)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from many
+// goroutines while snapshots run — the race detector (make race) is the
+// real assertion; the final totals check catches lost updates.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, perWorker = 8, 500
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent snapshot reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				if s.Count > 0 && (s.P50 < s.Min || s.P50 > s.Max) {
+					t.Errorf("mid-flight p50 %v outside [%v, %v]", s.P50, s.Min, s.Max)
+					return
+				}
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*perWorker+i) * 1e-6)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	var bucketed uint64
+	for _, b := range s.Buckets {
+		bucketed += b.Count
+	}
+	if bucketed+s.Overflow != s.Count {
+		t.Fatalf("bucket sum %d + overflow %d != count %d", bucketed, s.Overflow, s.Count)
+	}
+}

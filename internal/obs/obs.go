@@ -1,0 +1,271 @@
+// Package obs is the stdlib-only observability substrate of Pythagoras:
+// a metrics registry of atomic counters, gauges and fixed-bucket latency
+// histograms, plus lightweight span tracing for stage-level timings
+// (DESIGN.md §8).
+//
+// Design constraints, in order:
+//
+//  1. Safe under the serving path's concurrency: every metric type is
+//     lock-free on the hot path (atomic adds / CAS loops), and Snapshot may
+//     run concurrently with Observe. Snapshots are approximately consistent
+//     — in-flight observations may be visible in a bucket before the total,
+//     never the other way that would underflow.
+//  2. Near-zero overhead when no sink is attached: every method is nil-safe,
+//     so call sites hold possibly-nil *Counter/*Gauge/*Histogram pointers
+//     and pay one branch when observability is off. No time.Now() is spent
+//     by this package itself — callers time and Observe.
+//  3. No dependencies beyond the standard library; the JSON snapshot is
+//     expvar-compatible (PublishExpvar exposes it under /debug/vars).
+//
+// Metric names are dotted lowercase paths, `<subsystem>.<thing>[.<unit>]`:
+// `infer.stage.forward.seconds`, `lm.cache.text.hits`, `http./v1/predict.requests`.
+package obs
+
+import (
+	"expvar"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are nil-safe no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value (set or delta-adjusted). The zero
+// value is ready to use; all methods are nil-safe no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta (CAS loop — safe from any goroutine).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry holds named metrics. Metric constructors are get-or-create and
+// return stable pointers, so callers resolve them once and hit only atomics
+// afterwards. A nil *Registry is valid everywhere and hands out nil metrics,
+// making an unconfigured call site cost one branch per observation.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() float64{},
+		hists:      map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time — the natural
+// fit for values another subsystem already maintains (cache entry counts,
+// goroutine counts). Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (nil bounds selects DefBuckets). Bounds of an
+// existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric. It is safe to call concurrently with
+// observations; see the package comment for the consistency model.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFuncs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// published guards expvar.Publish, which panics on duplicate names; tests
+// build many registries, so only the first publish of a name wins.
+var published sync.Map
+
+// PublishExpvar exposes the registry's snapshot under the given expvar name
+// (readable at GET /debug/vars alongside the runtime's memstats). The first
+// registry to claim a name keeps it; later calls are no-ops.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if _, loaded := published.LoadOrStore(name, r); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// ExpBuckets returns n exponentially growing bucket upper bounds starting at
+// start (factor > 1).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n evenly spaced bucket upper bounds.
+func LinearBuckets(start, width float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// DefBuckets is the default latency scale in seconds: 10µs to ~84s,
+// doubling. Covers everything from a cache-hit token encode to a cold
+// paper-scale batch.
+var DefBuckets = ExpBuckets(1e-5, 2, 24)
+
+// sortedCopy returns an ascending copy of bounds (NewHistogram must not
+// alias or reorder a caller's slice).
+func sortedCopy(bounds []float64) []float64 {
+	out := append([]float64(nil), bounds...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("test.requests") != c {
+		t.Fatal("Counter is not get-or-create stable")
+	}
+
+	g := r.Gauge("test.busy")
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+
+	r.GaugeFunc("test.fn", func() float64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["test.requests"] != 5 || s.Gauges["test.busy"] != 3 || s.Gauges["test.fn"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+// TestNilSafety pins the "no sink attached" contract: a nil registry hands
+// out nil metrics and every operation — including spans — is a no-op.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.GaugeFunc("x", func() float64 { return 1 })
+	r.Histogram("x", nil).Observe(1)
+	if q := r.Histogram("x", nil).Quantile(0.5); q != 0 {
+		t.Fatalf("nil histogram quantile = %v", q)
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+	var sp *Span
+	if sp.End() != 0 || sp.Name() != "" || sp.Path() != "" || sp.Parent() != nil {
+		t.Fatal("nil span not inert")
+	}
+}
+
+func TestSnapshotMarshalsToJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1.5)
+	h := r.Histogram("h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(100) // overflow — must still marshal (no +Inf leaks into JSON)
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Histograms["h"].Count != 2 || back.Histograms["h"].Overflow != 1 {
+		t.Fatalf("histogram round-trip mismatch: %+v", back.Histograms["h"])
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("busy").Add(1)
+				r.Gauge("busy").Add(-1)
+				r.Histogram("lat", nil).Observe(float64(i) * 1e-5)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+	if got := r.Histogram("lat", nil).Count(); got != 8*200 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*200)
+	}
+}
+
+func TestExpAndLinearBuckets(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", exp)
+		}
+	}
+	lin := LinearBuckets(0, 5, 3)
+	want = []float64{0, 5, 10}
+	for i := range want {
+		if lin[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v", lin)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+type ctxKey int
+
+const (
+	registryKey ctxKey = iota
+	spanKey
+)
+
+// WithRegistry attaches a registry to the context so spans started below it
+// record their timings there.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey, r)
+}
+
+// RegistryFrom returns the registry attached by WithRegistry (nil if none —
+// and a nil registry is safe to use directly).
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey).(*Registry)
+	return r
+}
+
+// Span is one timed stage of a request. Spans nest through the context:
+// a span started under another becomes its child, and its recorded metric
+// name is the dot-joined path of stage names, prefixed "span." —
+// StartSpan(ctx, "predict") then StartSpan(ctx, "encode") records
+// `span.predict` and `span.predict.encode` latency histograms. That keeps
+// tracing weightless: no IDs, no export pipeline, just a duration histogram
+// per distinct stage path, which is exactly what per-stage latency analysis
+// needs (DESIGN.md §8).
+type Span struct {
+	name   string
+	path   string
+	start  time.Time
+	parent *Span
+	hist   *Histogram
+}
+
+// StartSpan begins a stage span as a child of the context's current span,
+// recording into the context's registry. The returned context carries the
+// new span; pass it to nested stages. Always returns a usable span — with
+// no registry attached, End simply records nothing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	s := &Span{name: name, path: name, start: time.Now(), parent: parent}
+	if parent != nil {
+		s.path = parent.path + "." + name
+	}
+	if r := RegistryFrom(ctx); r != nil {
+		s.hist = r.Histogram("span."+s.path, nil)
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanFrom returns the context's current span (nil if none).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Name returns the span's stage name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Path returns the dot-joined stage path from the root span ("" for nil).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Parent returns the enclosing span (nil at the root).
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// End stops the span, records its duration into the registry histogram for
+// its stage path, and returns the duration. Nil-safe.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+	}
+	return d
+}

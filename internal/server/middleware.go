@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// respWriter wraps the ResponseWriter for the whole middleware chain: it
+// records status and byte counts for the access log and per-route metrics,
+// and it unifies error bodies — any plain-text error response (http.Error,
+// the mux's own 404/405 pages) is intercepted and rewritten through
+// writeErr, so every error the server emits is the same JSON shape the
+// predict handlers use.
+type respWriter struct {
+	http.ResponseWriter
+	status      int
+	bytes       int
+	wroteHeader bool
+	// intercept buffers a plain-text error body (detected at WriteHeader
+	// time by status ≥ 400 with a missing or text/plain content type) until
+	// finish() rewrites it as JSON.
+	intercept bool
+	errBuf    bytes.Buffer
+}
+
+func (w *respWriter) WriteHeader(code int) {
+	if w.wroteHeader || w.intercept {
+		return
+	}
+	if code >= 400 {
+		ct := w.Header().Get("Content-Type")
+		if ct == "" || strings.HasPrefix(ct, "text/plain") {
+			w.status = code
+			w.intercept = true
+			return
+		}
+	}
+	w.status = code
+	w.wroteHeader = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *respWriter) Write(p []byte) (int, error) {
+	if w.intercept {
+		return w.errBuf.Write(p)
+	}
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// statusOrDefault returns the response status, 200 if the handler finished
+// without writing anything.
+func (w *respWriter) statusOrDefault() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// abandonIntercept drops any buffered plain-text error so a later writer
+// (the panic recoverer) can emit its own response.
+func (w *respWriter) abandonIntercept() {
+	w.intercept = false
+	w.errBuf.Reset()
+}
+
+// finish flushes an intercepted plain-text error as the unified JSON error
+// shape. Must be called exactly once, after the handler chain returns.
+func (w *respWriter) finish() {
+	if !w.intercept {
+		return
+	}
+	status := w.status
+	msg := strings.TrimSpace(w.errBuf.String())
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	w.abandonIntercept()
+	writeErr(w, status, "%s", msg)
+}
+
+type requestIDKey struct{}
+
+// requestIDFrom returns the request ID stashed by the request-ID middleware
+// ("" if the middleware did not run).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// withRequestID honors an incoming X-Request-ID header (so IDs propagate
+// through catalog-tool call chains) or mints one, echoes it on the response,
+// and threads it through the context for the access log and handlers.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("%08x-%06d", s.idPrefix, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
+}
+
+// withAccessLog wraps the response in the chain's respWriter, emits one
+// structured line per completed request (when a logger is configured), and
+// flushes any intercepted plain-text error as JSON. Line format (stable,
+// key=value, space-separated):
+//
+//	method=POST path=/v1/predict status=200 bytes=512 dur=1.234ms req_id=0a1b2c3d-000001
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &respWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(rw, r)
+		rw.finish()
+		if s.logger != nil {
+			s.logger.Printf("method=%s path=%s status=%d bytes=%d dur=%s req_id=%s",
+				r.Method, r.URL.Path, rw.statusOrDefault(), rw.bytes,
+				time.Since(t0).Round(time.Microsecond), requestIDFrom(r.Context()))
+		}
+	})
+}
+
+// withRecover converts handler panics into JSON 500s (when the response has
+// not started), counts them under http.panics, and logs the stack. The
+// connection-abort sentinel is re-raised — net/http uses it for control
+// flow.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	panics := s.metrics.Counter("http.panics")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			panics.Inc()
+			if s.logger != nil {
+				s.logger.Printf("panic serving %s %s (req_id=%s): %v\n%s",
+					r.Method, r.URL.Path, requestIDFrom(r.Context()), rec, debug.Stack())
+			}
+			if rw, ok := w.(*respWriter); ok {
+				rw.abandonIntercept()
+				if !rw.wroteHeader {
+					writeErr(rw, http.StatusInternalServerError, "internal server error")
+				}
+				return
+			}
+			writeErr(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// route registers a handler with per-route metrics (DESIGN.md §8):
+//
+//	http.<path>.requests         counter
+//	http.<path>.errors           counter of ≥400 responses
+//	http.<path>.latency.seconds  histogram
+//
+// The pattern's method prefix ("POST /v1/predict") is stripped for metric
+// names, so both methods of a path share one series.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	path := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		path = pattern[i+1:]
+	}
+	reqs := s.metrics.Counter("http." + path + ".requests")
+	errs := s.metrics.Counter("http." + path + ".errors")
+	lat := s.metrics.Histogram("http."+path+".latency.seconds", nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		reqs.Inc()
+		h(w, r)
+		lat.Since(t0)
+		if rw, ok := w.(*respWriter); ok && rw.statusOrDefault() >= 400 {
+			errs.Inc()
+		}
+	})
+}
+
+// newIDPrefix seeds the per-process request-ID prefix.
+func newIDPrefix() uint32 { return rand.Uint32() }

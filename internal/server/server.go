@@ -20,22 +20,35 @@
 //	                   → union candidates ranked by semantic-type overlap
 //	GET  /v1/types     → indexed semantic types
 //	GET  /v1/healthz   → liveness + model/vocabulary info
+//	GET  /v1/metrics   → JSON snapshot of the metrics registry: per-stage
+//	                   inference latency histograms, per-route request/
+//	                   error/latency series, encoder cache gauges, spans
+//	GET  /debug/pprof/* (and /debug/vars) when built WithDebug
 //
 // Request bodies are size-capped (http.MaxBytesReader); oversized payloads
-// get 413 and malformed ones 400, both as JSON errors.
+// get 413 and malformed ones 400, both as JSON errors. Every request flows
+// through the middleware chain: request-ID (honored or minted, echoed as
+// X-Request-ID) → access log → panic recovery (JSON 500) → per-route
+// metrics. Plain-text error pages (including the mux's own 404/405) are
+// rewritten into the same JSON error shape the handlers use.
 package server
 
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/discovery"
 	"github.com/sematype/pythagoras/internal/infer"
+	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/table"
 )
 
@@ -48,33 +61,88 @@ const (
 
 // Server wires the inference engine and index into an http.Handler.
 type Server struct {
-	engine *infer.Engine
-	index  *discovery.TypeIndex
-	mux    *http.ServeMux
+	engine  *infer.Engine
+	index   *discovery.TypeIndex
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the middleware chain
+	metrics *obs.Registry
+	logger  *log.Logger // access-log + panic sink; nil silences both
+	debug   bool        // mounts /debug/pprof/* and /debug/vars
+
+	idPrefix uint32 // per-process request-ID prefix
+	reqSeq   atomic.Uint64
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMetrics supplies the metrics registry. Without it the server adopts
+// the engine's registry, or creates its own — a server always serves
+// /v1/metrics.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithLogger enables the access log and panic reporting.
+func WithLogger(l *log.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithDebug mounts the pprof handlers under /debug/pprof/ and expvar under
+// /debug/vars. Off by default: profiling endpoints expose internals and
+// cost CPU, so production turns them on deliberately (`serve -debug`).
+func WithDebug(debug bool) Option {
+	return func(s *Server) { s.debug = debug }
 }
 
 // New builds a server around a trained model. minConfidence filters what
 // enters the discovery index.
-func New(m *core.Model, minConfidence float64) *Server {
-	return NewWithEngine(infer.New(m), minConfidence)
+func New(m *core.Model, minConfidence float64, opts ...Option) *Server {
+	return NewWithEngine(infer.New(m), minConfidence, opts...)
 }
 
 // NewWithEngine builds a server around a pre-configured inference engine
-// (custom worker counts, batch bounds).
-func NewWithEngine(eng *infer.Engine, minConfidence float64) *Server {
+// (custom worker counts, batch bounds). The server and engine share one
+// metrics registry: the server's (WithMetrics) if the engine has none yet,
+// otherwise the engine's.
+func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Server {
 	s := &Server{
-		engine: eng,
-		index:  discovery.NewTypeIndex(minConfidence),
-		mux:    http.NewServeMux(),
+		engine:   eng,
+		index:    discovery.NewTypeIndex(minConfidence),
+		mux:      http.NewServeMux(),
+		idPrefix: newIDPrefix(),
 	}
-	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	s.mux.HandleFunc("POST /v1/predict-batch", s.handlePredictBatch)
-	s.mux.HandleFunc("POST /v1/index", s.handleIndex)
-	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
-	s.mux.HandleFunc("GET /v1/join", s.handleJoin)
-	s.mux.HandleFunc("GET /v1/union", s.handleUnion)
-	s.mux.HandleFunc("GET /v1/types", s.handleTypes)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	for _, o := range opts {
+		o(s)
+	}
+	if s.metrics == nil {
+		s.metrics = eng.Metrics()
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	eng.EnableMetrics(s.metrics) // no-op if the engine brought its own
+
+	s.route("POST /v1/predict", s.handlePredict)
+	s.route("POST /v1/predict-batch", s.handlePredictBatch)
+	s.route("POST /v1/index", s.handleIndex)
+	s.route("GET /v1/search", s.handleSearch)
+	s.route("GET /v1/join", s.handleJoin)
+	s.route("GET /v1/union", s.handleUnion)
+	s.route("GET /v1/types", s.handleTypes)
+	s.route("GET /v1/healthz", s.handleHealthz)
+	s.route("GET /v1/metrics", s.handleMetrics)
+	if s.debug {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		s.mux.Handle("GET /debug/vars", expvar.Handler())
+		s.metrics.PublishExpvar("pythagoras")
+	}
+
+	s.handler = s.withRequestID(s.withAccessLog(s.withRecover(s.mux)))
 	return s
 }
 
@@ -82,10 +150,13 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64) *Server {
 func (s *Server) model() *core.Model { return s.engine.Model() }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Index exposes the underlying discovery index.
 func (s *Server) Index() *discovery.TypeIndex { return s.index }
+
+// Metrics exposes the server's metrics registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // --- wire types ---
 
@@ -231,24 +302,39 @@ func decodeTableRequest(w http.ResponseWriter, r *http.Request) (*TableRequest, 
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ctx, span := obs.StartSpan(obs.WithRegistry(r.Context(), s.metrics), "predict")
+	defer span.End()
+
+	_, parse := obs.StartSpan(ctx, "parse")
 	tr, ok := decodeTableRequest(w, r)
 	if !ok {
+		parse.End()
 		return
 	}
-	t, preds, err := s.predict(tr)
+	t, err := tr.toTable()
+	parse.End()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	_, inferSp := obs.StartSpan(ctx, "infer")
+	preds := s.engine.Predict(t)
+	inferSp.End()
 	writeJSON(w, http.StatusOK, toResponse(t, preds))
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	ctx, span := obs.StartSpan(obs.WithRegistry(r.Context(), s.metrics), "predict-batch")
+	defer span.End()
+
+	_, parse := obs.StartSpan(ctx, "parse")
 	var br BatchRequest
 	if !decodeJSONBody(w, r, maxBatchBodyBytes, &br) {
+		parse.End()
 		return
 	}
 	if len(br.Tables) == 0 {
+		parse.End()
 		writeErr(w, http.StatusBadRequest, "batch needs at least one table")
 		return
 	}
@@ -256,17 +342,30 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range br.Tables {
 		t, err := br.Tables[i].toTable()
 		if err != nil {
+			parse.End()
 			writeErr(w, http.StatusBadRequest, "table %d: %v", i, err)
 			return
 		}
 		tables[i] = t
 	}
+	parse.End()
+
+	_, inferSp := obs.StartSpan(ctx, "infer")
 	batch := s.engine.PredictBatch(tables)
+	inferSp.End()
 	resp := BatchResponse{Results: make([]PredictResponse, len(batch))}
 	for i, preds := range batch {
 		resp.Results[i] = *toResponse(tables[i], preds)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves a point-in-time JSON snapshot of the registry —
+// every counter, gauge (cache stats included), per-stage and per-route
+// histogram with quantile estimates. The shape matches what PublishExpvar
+// exposes under /debug/vars.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -14,7 +14,7 @@ import (
 )
 
 // trainedServer builds a quickly trained model behind the handler.
-func trainedServer(t *testing.T) *Server {
+func trainedServer(t *testing.T, opts ...Option) *Server {
 	t.Helper()
 	c := data.GenerateSportsTables(data.SportsConfig{
 		NumTables: 22, Seed: 11, MinRows: 5, MaxRows: 8, WeakNameProb: 0.1, Domains: 2,
@@ -27,7 +27,7 @@ func trainedServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(m, 0)
+	return New(m, 0, opts...)
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
