@@ -2,11 +2,11 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-json experiments experiments-full corpora clean
+.PHONY: check build test vet race cover fuzz bench bench-json experiments experiments-full corpora clean
 
-# The default pre-merge gate: compile, lint, unit tests, then the race pass
-# over the concurrent serving path.
-check: build vet test race
+# The default pre-merge gate: compile, lint, unit tests, the race pass over
+# the concurrent serving path (chaos suite included), and the coverage floor.
+check: build vet test race cover
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,30 @@ vet:
 	$(GO) vet ./...
 
 # Race-detect the concurrent serving path: the staged inference engine, the
-# sharded encoder cache, and the HTTP server that drives them.
+# sharded encoder cache, the fault-injection hooks, and the HTTP server —
+# this is what runs the cancellation/shedding/shutdown chaos suites under
+# the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/infer/... ./internal/lm/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/infer/... ./internal/lm/... ./internal/server/... ./internal/faultinject/...
+
+# Total statement coverage at the time the production-hardening PR landed;
+# `make cover` fails if the tree ever drops below it.
+COVER_MIN = 86.8
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | awk -v min=$(COVER_MIN) \
+		'/^total:/ { pct = $$3; sub(/%/, "", pct); \
+		   printf "total coverage %s (floor %s%%)\n", $$3, min; \
+		   if (pct + 0 < min + 0) { print "FAIL: coverage below floor"; exit 1 } }'
+
+# Short-budget fuzz pass over every fuzz target. go test accepts a single
+# -fuzz pattern per invocation, hence one line per target; the committed
+# seed corpora under testdata/fuzz/ run in the ordinary `make test` too.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/table/
+	$(GO) test -run '^$$' -fuzz FuzzCSVTable -fuzztime 10s ./internal/table/
+	$(GO) test -run '^$$' -fuzz FuzzTableRequestDecode -fuzztime 10s ./internal/server/
 
 # One quick-scale pass per paper table/figure plus component micro-benches.
 bench:

@@ -14,14 +14,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/data"
@@ -229,6 +234,9 @@ func cmdServe(args []string) {
 	minConf := fs.Float64("min-confidence", 0.3, "discovery-index confidence threshold")
 	workers := fs.Int("workers", 0, "inference prepare workers (0 = NumCPU)")
 	debug := fs.Bool("debug", false, "mount /debug/pprof and /debug/vars")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline, queue wait included (0 = unbounded; expiry → 504)")
+	maxInflight := fs.Int("max-inflight", 64, "max concurrently processed requests; as many again may queue, the rest are shed with 429 (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 
@@ -238,7 +246,35 @@ func cmdServe(args []string) {
 	}
 	eng := infer.New(m, infer.WithWorkers(*workers), infer.WithMetrics(obs.NewRegistry()))
 	srv := server.NewWithEngine(eng, *minConf,
-		server.WithLogger(log.Default()), server.WithDebug(*debug))
-	log.Printf("pythagoras serving on %s (vocabulary: %d types, debug=%v)", *addr, len(m.Types()), *debug)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+		server.WithLogger(log.Default()), server.WithDebug(*debug),
+		server.WithRequestTimeout(*requestTimeout), server.WithMaxInflight(*maxInflight))
+	log.Printf("pythagoras serving on %s (vocabulary: %d types, debug=%v, request-timeout=%s, max-inflight=%d)",
+		*addr, len(m.Types()), *debug, *requestTimeout, *maxInflight)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Drain in two layers: the app server first turns traffic away and
+	// waits for in-flight inference (healthz flips to draining so the load
+	// balancer pulls the instance), then the HTTP server closes listeners
+	// and waits for connections to go idle.
+	log.Printf("pythagoras: signal received, draining (budget %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("pythagoras: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pythagoras: http shutdown: %v", err)
+	}
+	log.Printf("pythagoras: shutdown complete")
 }

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsNoOp(t *testing.T) {
+	var s *Set
+	if err := s.Fire(context.Background(), InferForward); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	if s.Fired(InferForward) != 0 {
+		t.Fatal("nil set counted a fire")
+	}
+	if s.On(InferForward, Err(errors.New("x"))) != nil {
+		t.Fatal("On on nil set must stay nil")
+	}
+}
+
+func TestFireRunsActionsInOrderAndStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	var order []string
+	s := New().
+		On(InferUnion, func(context.Context) error { order = append(order, "a"); return nil }).
+		On(InferUnion, func(context.Context) error { order = append(order, "b"); return boom }).
+		On(InferUnion, func(context.Context) error { order = append(order, "c"); return nil })
+	if err := s.Fire(context.Background(), InferUnion); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Fired(InferUnion) != 1 {
+		t.Fatalf("fired = %d", s.Fired(InferUnion))
+	}
+	// Unarmed points do not count.
+	if err := s.Fire(context.Background(), InferPrepare); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fired(InferPrepare) != 0 {
+		t.Fatal("unarmed point counted a fire")
+	}
+}
+
+func TestSleepRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	err := Sleep(5 * time.Second)(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(t0) > time.Second {
+		t.Fatal("cancelled sleep did not return promptly")
+	}
+}
+
+func TestSleepElapsesWithoutError(t *testing.T) {
+	if err := Sleep(time.Millisecond)(context.Background()); err != nil {
+		t.Fatalf("completed sleep errored: %v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	boom := errors.New("boom")
+	a := After(2, Err(boom))
+	for i := 0; i < 2; i++ {
+		if err := a(context.Background()); err != nil {
+			t.Fatalf("call %d fired early: %v", i, err)
+		}
+	}
+	if err := a(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("third call = %v", err)
+	}
+
+	b := Times(1, Err(boom))
+	if err := b(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("first call = %v", err)
+	}
+	if err := b(context.Background()); err != nil {
+		t.Fatalf("second call = %v", err)
+	}
+}
+
+func TestCancelActionCancelsAndErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	a := Cancel(cancel)
+	if err := a(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled")
+	}
+	// A cancel targeting a different context still reports Canceled.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	other, cancelOther := context.WithCancel(context.Background())
+	defer cancelOther()
+	if err := Cancel(cancelOther)(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cross-context cancel = %v", err)
+	}
+	if other.Err() == nil {
+		t.Fatal("target context not cancelled")
+	}
+}
+
+func TestConcurrentRegisterAndFire(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if w%2 == 0 {
+					s.On(InferForward, func(context.Context) error { return nil })
+				} else {
+					_ = s.Fire(context.Background(), InferForward)
+					_ = s.Fired(InferForward)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

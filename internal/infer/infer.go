@@ -20,12 +20,24 @@
 // and runs chunks in parallel. Because a union forward is bit-identical to
 // the per-table forwards it replaces (row-wise ops, per-destination scatter
 // accumulation), the chunking is unobservable in the output.
+//
+// The context-threaded entry points (PredictCtx, PredictBatchCtx) make the
+// whole pipeline interruptible (DESIGN.md §9): cancellation is checked
+// before every stage, between chunks, and before each work item the pool
+// claims, so a vanished client or an expired deadline aborts the batch at
+// the next stage boundary with a partial-work drain — workers finish the
+// item they are on, nothing new is started, and the first error comes back.
+// The context-free Predict/PredictBatch remain as thin non-cancellable
+// wrappers. Cancellation never changes bits: a batch that completes under a
+// cancellable context is byte-identical to the same batch without one.
+//
 // The engine holds no mutable state: a single Engine is safe for concurrent
 // use from any number of goroutines, and its batch output is bit-identical
 // to looping core.Model.PredictTable over the same tables.
 package infer
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +46,7 @@ import (
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/faultinject"
 	"github.com/sematype/pythagoras/internal/table"
 	"github.com/sematype/pythagoras/internal/tensor"
 )
@@ -52,6 +65,10 @@ type Engine struct {
 	// chunk-size distributions and pool utilization (see metrics.go). Nil
 	// costs one branch per stage — the no-sink-attached fast path.
 	metrics *engineMetrics
+	// faults, when non-nil, fires the chaos suite's injection points at
+	// each stage boundary (DESIGN.md §9). Nil — always, outside tests —
+	// costs one branch per stage.
+	faults *faultinject.Set
 }
 
 // Option configures an Engine.
@@ -63,6 +80,11 @@ func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 
 // WithMaxBatch sets how many tables Evaluate unions per forward pass.
 func WithMaxBatch(n int) Option { return func(e *Engine) { e.maxBatch = n } }
+
+// WithFaults arms fault-injection points at the engine's stage boundaries —
+// test support for the chaos suite, never set in production (nil disables,
+// the default).
+func WithFaults(fs *faultinject.Set) Option { return func(e *Engine) { e.faults = fs } }
 
 // New builds an inference engine around a trained model.
 func New(m *core.Model, opts ...Option) *Engine {
@@ -85,37 +107,81 @@ func (e *Engine) Model() *core.Model { return e.model }
 // Predict runs the staged pipeline on a single table. It is equivalent to
 // (and, uninstrumented, implemented as) core.Model.PredictTable; with
 // metrics attached it runs the same three stage calls PredictTable is made
-// of, timing each — the output is bit-identical either way.
+// of, timing each — the output is bit-identical either way. It cannot be
+// cancelled; serving paths use PredictCtx.
 func (e *Engine) Predict(t *table.Table) []core.ColumnPrediction {
-	m := e.metrics
-	if m == nil {
+	if e.metrics == nil && e.faults == nil {
 		return e.model.PredictTable(t)
 	}
-	t0 := time.Now()
-	p := e.model.PrepareForPrediction(t)
-	m.prepare.Since(t0)
-	t0 = time.Now()
-	probs, targets := e.model.InferProbs(p)
-	m.forward.Since(t0)
-	t0 = time.Now()
-	out := e.model.DecodePredictions(p, probs, targets, 0, len(targets), t)
-	m.decode.Since(t0)
-	m.tables.Inc()
+	out, _ := e.PredictCtx(context.Background(), t)
 	return out
 }
 
-// parallelFor runs fn(0..n-1) over the engine's worker pool. Used for both
+// PredictCtx runs the staged pipeline on a single table under a context:
+// cancellation (or an injected fault) is observed between the prepare,
+// forward and decode stages, returning the context's error with no partial
+// result. A completed call is bit-identical to Predict.
+func (e *Engine) PredictCtx(ctx context.Context, t *table.Table) ([]core.ColumnPrediction, error) {
+	m := e.metrics
+	if err := stageGate(ctx, e.faults, faultinject.InferPrepare); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	p := e.model.PrepareForPrediction(t)
+	if m != nil {
+		m.prepare.Since(t0)
+	}
+	if err := stageGate(ctx, e.faults, faultinject.InferForward); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	probs, targets := e.model.InferProbs(p)
+	if m != nil {
+		m.forward.Since(t0)
+	}
+	if err := stageGate(ctx, e.faults, faultinject.InferDecode); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	out := e.model.DecodePredictions(p, probs, targets, 0, len(targets), t)
+	if m != nil {
+		m.decode.Since(t0)
+		m.tables.Inc()
+	}
+	return out, nil
+}
+
+// stageGate is the per-stage interruption check: context first, then any
+// armed fault. Both are one branch each when unset.
+func stageGate(ctx context.Context, fs *faultinject.Set, p faultinject.Point) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fs.Fire(ctx, p)
+}
+
+// parallelFor runs fn(0..n-1) over the engine's worker pool, stopping early
+// when the context is cancelled or any fn returns an error. Used for both
 // the prepare stage and the chunked forward stage: both only read the frozen
-// model and the internally synchronized encoder cache. When instrumented,
-// the infer.workers.busy gauge tracks how many pool workers are inside fn —
-// sampled by registry snapshots, it is the pool-utilization signal.
-func (e *Engine) parallelFor(n int, fn func(i int)) {
+// model and the internally synchronized encoder cache.
+//
+// Abort semantics are a partial-work drain: the context and the shared stop
+// flag are re-checked before each index a worker claims, so after a
+// cancellation no new work starts, every worker finishes the item it is
+// inside, and parallelFor returns only when all workers have parked. The
+// first error wins; output slots written before the abort are simply
+// discarded by the caller.
+//
+// When instrumented, the infer.workers.busy gauge tracks how many pool
+// workers are inside fn — sampled by registry snapshots, it is the
+// pool-utilization signal.
+func (e *Engine) parallelFor(ctx context.Context, n int, fn func(i int) error) error {
 	if m := e.metrics; m != nil {
 		inner := fn
-		fn = func(i int) {
+		fn = func(i int) error {
 			m.busy.Add(1)
 			defer m.busy.Add(-1)
-			inner(i)
+			return inner(i)
 		}
 	}
 	workers := e.workers
@@ -124,26 +190,51 @@ func (e *Engine) parallelFor(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // chunkBounds splits n prepared tables into contiguous [lo, hi) chunks — as
@@ -171,11 +262,16 @@ func (e *Engine) chunkBounds(n int) [][2]int {
 
 // forwardChunk runs one gradient-free forward over ps[lo:hi] (unioned when
 // the chunk holds more than one table) and returns the chunk's prepared
-// input, class probabilities and target-node list. Instrumented, it times
-// the graph-union and forward stages separately (a single-table chunk still
-// observes its ~zero union cost, so the union histogram's count always
-// matches the chunk count).
-func (e *Engine) forwardChunk(ps []*core.Prepared, lo, hi int) (*core.Prepared, *tensor.Matrix, []int) {
+// input, class probabilities and target-node list. The context and fault
+// gates run before the union and before the forward — the two places a
+// chunk spends real time. Instrumented, it times the graph-union and
+// forward stages separately (a single-table chunk still observes its ~zero
+// union cost, so the union histogram's count always matches the chunk
+// count).
+func (e *Engine) forwardChunk(ctx context.Context, ps []*core.Prepared, lo, hi int) (*core.Prepared, *tensor.Matrix, []int, error) {
+	if err := stageGate(ctx, e.faults, faultinject.InferUnion); err != nil {
+		return nil, nil, nil, err
+	}
 	m := e.metrics
 	var t0 time.Time
 	if m != nil {
@@ -188,13 +284,18 @@ func (e *Engine) forwardChunk(ps []*core.Prepared, lo, hi int) (*core.Prepared, 
 	if m != nil {
 		m.union.Since(t0)
 		m.chunks.Observe(float64(hi - lo))
+	}
+	if err := stageGate(ctx, e.faults, faultinject.InferForward); err != nil {
+		return nil, nil, nil, err
+	}
+	if m != nil {
 		t0 = time.Now()
 	}
 	probs, targets := e.model.InferProbs(p)
 	if m != nil {
 		m.forward.Since(t0)
 	}
-	return p, probs, targets
+	return p, probs, targets, nil
 }
 
 // PredictBatch predicts the semantic types of every column of every input
@@ -202,18 +303,34 @@ func (e *Engine) forwardChunk(ps []*core.Prepared, lo, hi int) (*core.Prepared, 
 // graphs unioned (the training loop's minibatch mechanism) into per-worker
 // chunks of at most maxBatch tables, and the GNN + softmax run once per
 // chunk, chunks in parallel. Output i corresponds to input i and is
-// bit-identical to Predict(ts[i]).
+// bit-identical to Predict(ts[i]). It cannot be cancelled; serving paths
+// use PredictBatchCtx.
 func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
+	out, _ := e.PredictBatchCtx(context.Background(), ts)
+	return out
+}
+
+// PredictBatchCtx is PredictBatch under a context: cancellation (or an
+// injected fault) is observed before each table the prepare pool claims,
+// between chunks, and inside each chunk before its union and forward. On
+// abort it returns nil results and the first error after draining — every
+// in-flight stage call runs to completion, nothing new starts. A completed
+// call is bit-identical to PredictBatch.
+func (e *Engine) PredictBatchCtx(ctx context.Context, ts []*table.Table) ([][]core.ColumnPrediction, error) {
 	m := e.metrics
 	switch len(ts) {
 	case 0:
-		return nil
+		return nil, ctx.Err()
 	case 1:
 		if m != nil {
 			m.batches.Inc()
 			m.batch.Observe(1)
 		}
-		return [][]core.ColumnPrediction{e.Predict(ts[0])} // Predict counts the table
+		out, err := e.PredictCtx(ctx, ts[0]) // PredictCtx counts the table
+		if err != nil {
+			return nil, err
+		}
+		return [][]core.ColumnPrediction{out}, nil
 	}
 	if m != nil {
 		m.batches.Inc()
@@ -222,7 +339,10 @@ func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
 	}
 
 	ps := make([]*core.Prepared, len(ts))
-	e.parallelFor(len(ts), func(i int) {
+	err := e.parallelFor(ctx, len(ts), func(i int) error {
+		if err := e.faults.Fire(ctx, faultinject.InferPrepare); err != nil {
+			return err
+		}
 		var t0 time.Time
 		if m != nil {
 			t0 = time.Now()
@@ -231,13 +351,23 @@ func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
 		if m != nil {
 			m.prepare.Since(t0)
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	out := make([][]core.ColumnPrediction, len(ts))
 	bounds := e.chunkBounds(len(ts))
-	e.parallelFor(len(bounds), func(c int) {
+	err = e.parallelFor(ctx, len(bounds), func(c int) error {
 		clo, chi := bounds[c][0], bounds[c][1]
-		p, probs, targets := e.forwardChunk(ps, clo, chi)
+		p, probs, targets, err := e.forwardChunk(ctx, ps, clo, chi)
+		if err != nil {
+			return err
+		}
+		if err := e.faults.Fire(ctx, faultinject.InferDecode); err != nil {
+			return err
+		}
 		var t0 time.Time
 		if m != nil {
 			t0 = time.Now()
@@ -251,8 +381,12 @@ func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
 		if m != nil {
 			m.decode.Since(t0)
 		}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Evaluate scores the model over labeled corpus tables through the staged
@@ -261,8 +395,9 @@ func (e *Engine) PredictBatch(ts []*table.Table) [][]core.ColumnPrediction {
 // identical to core.Model.Evaluate on the same indices.
 func (e *Engine) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Prediction) {
 	m := e.metrics
+	ctx := context.Background()
 	ps := make([]*core.Prepared, len(idx))
-	e.parallelFor(len(idx), func(i int) {
+	_ = e.parallelFor(ctx, len(idx), func(i int) error {
 		var t0 time.Time
 		if m != nil {
 			t0 = time.Now()
@@ -271,11 +406,12 @@ func (e *Engine) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Predic
 		if m != nil {
 			m.prepare.Since(t0)
 		}
+		return nil
 	})
 
 	bounds := e.chunkBounds(len(ps))
 	chunkPreds := make([][]eval.Prediction, len(bounds))
-	e.parallelFor(len(bounds), func(ci int) {
+	_ = e.parallelFor(ctx, len(bounds), func(ci int) error {
 		lo, hi := bounds[ci][0], bounds[ci][1]
 		var t0 time.Time
 		if m != nil {
@@ -294,6 +430,7 @@ func (e *Engine) Evaluate(c *data.Corpus, idx []int) (*eval.Split, []eval.Predic
 		if m != nil {
 			m.forward.Since(t0)
 		}
+		return nil
 	})
 	var preds []eval.Prediction
 	for _, cp := range chunkPreds {

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// FuzzTableRequestDecode drives arbitrary bytes through the exact request
+// path a /v1/predict body takes before inference: decodeJSONBody (strict
+// fields, size cap, trailing-garbage rejection) followed by toTable kind
+// inference. It asserts the decoder's contract rather than specific inputs:
+// rejections are always well-formed JSON 4xx errors, and any accepted body
+// yields a structurally sound table.
+func FuzzTableRequestDecode(f *testing.F) {
+	valid, _ := json.Marshal(sampleRequest("t1"))
+	f.Add(valid)
+	f.Add([]byte(`{"name":"n","columns":[{"header":"h","values":["1","2"]}]}`))
+	f.Add([]byte(`{"name":"n","columns":[{"header":"h","values":["1"]},{"header":"g","values":["a","b"]}]}`))
+	f.Add([]byte(`{"name":"n","columns":[]}`))
+	f.Add([]byte(`{"name":"n","columns":[{"header":"h","values":["x"]}]}garbage`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		var tr TableRequest
+		if !decodeJSONBody(rec, req, maxBodyBytes, &tr) {
+			// Every rejection must already have written a JSON error with a
+			// client-error status.
+			if rec.Code != http.StatusBadRequest && rec.Code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("rejection wrote status %d", rec.Code)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("rejection body is not a JSON error: %q", rec.Body)
+			}
+			return
+		}
+		if rec.Body.Len() != 0 {
+			t.Fatalf("accepting decode wrote a response: %q", rec.Body)
+		}
+		tbl, err := tr.toTable()
+		if err != nil {
+			return // semantic rejection (no columns, ragged lengths) is fine
+		}
+		if len(tbl.Columns) != len(tr.Columns) {
+			t.Fatalf("toTable dropped columns: %d != %d", len(tbl.Columns), len(tr.Columns))
+		}
+		rows := tbl.NumRows()
+		for i, c := range tbl.Columns {
+			if c.Len() != rows {
+				t.Fatalf("col %d: %d rows, table has %d", i, c.Len(), rows)
+			}
+			switch c.Kind {
+			case table.KindNumeric:
+				if len(c.TextValues) != 0 {
+					t.Fatalf("col %d: numeric column holds text values", i)
+				}
+			case table.KindText:
+				if len(c.NumValues) != 0 {
+					t.Fatalf("col %d: text column holds numeric values", i)
+				}
+			default:
+				t.Fatalf("col %d: unknown kind %v", i, c.Kind)
+			}
+			c.SemanticType = "t"
+		}
+		if err := tbl.Validate(); err != nil {
+			t.Fatalf("accepted request fails table validation: %v", err)
+		}
+	})
+}

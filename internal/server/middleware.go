@@ -9,6 +9,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"github.com/sematype/pythagoras/internal/faultinject"
 )
 
 // respWriter wraps the ResponseWriter for the whole middleware chain: it
@@ -161,6 +163,97 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 			}
 			writeErr(w, http.StatusInternalServerError, "internal server error")
 		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// exemptFromLimits reports whether a path bypasses the deadline and
+// admission middleware: health checks, metrics scrapes and the debug
+// endpoints must stay reachable under overload and during drain — an
+// operator diagnosing a saturated instance needs exactly those.
+func exemptFromLimits(path string) bool {
+	return path == "/v1/healthz" || path == "/v1/metrics" || strings.HasPrefix(path, "/debug/")
+}
+
+// withDeadline attaches the per-request deadline (WithRequestTimeout) to
+// the request context. Everything downstream — admission-queue waits, the
+// engine's stage gates — observes the same deadline; the handler maps its
+// expiry to a JSON 504. A no-op when no timeout is configured.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromLimits(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withAdmission is the overload and lifecycle gate (DESIGN.md §9). In order:
+//
+//  1. Draining (Shutdown began): reject with 503 + Retry-After.
+//  2. Admission: with WithMaxInflight configured, acquire the inflight
+//     semaphore. A full server queues the request in a bounded queue (the
+//     wait observes the request deadline); a full queue sheds it with
+//     429 + Retry-After and counts http.shed.
+//  3. Track the request in http.inflight — Shutdown's drain barrier — and
+//     re-check draining after admission so a drain begun while queued
+//     cannot be missed.
+//
+// Exempt paths (health, metrics, debug) skip all of it.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromLimits(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}: // free slot, admitted immediately
+			default:
+				if int(s.queued.Add(1)) > s.maxQueue {
+					s.queued.Add(-1)
+					s.shed.Inc()
+					w.Header().Set("Retry-After", "1")
+					writeErr(w, http.StatusTooManyRequests,
+						"server at capacity (%d in flight, %d queued)", s.maxInflight, s.maxQueue)
+					return
+				}
+				select {
+				case s.sem <- struct{}{}:
+					s.queued.Add(-1)
+				case <-r.Context().Done():
+					s.queued.Add(-1)
+					s.writeInferErr(w, r.Context().Err())
+					return
+				}
+			}
+			defer func() { <-s.sem }()
+		}
+		// Count before the draining re-check: Shutdown sets the flag and
+		// then watches the count, so any request it could miss flag-setting
+		// for is either visible in the count or sees the flag here.
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		if err := s.faults.Fire(r.Context(), faultinject.ServerHandle); err != nil {
+			s.writeInferErr(w, err)
+			return
+		}
 		next.ServeHTTP(w, r)
 	})
 }

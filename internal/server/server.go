@@ -28,25 +28,39 @@
 // Request bodies are size-capped (http.MaxBytesReader); oversized payloads
 // get 413 and malformed ones 400, both as JSON errors. Every request flows
 // through the middleware chain: request-ID (honored or minted, echoed as
-// X-Request-ID) → access log → panic recovery (JSON 500) → per-route
-// metrics. Plain-text error pages (including the mux's own 404/405) are
-// rewritten into the same JSON error shape the handlers use.
+// X-Request-ID) → access log → panic recovery (JSON 500) → per-request
+// deadline (WithRequestTimeout; expiry surfaces as 504) → bounded admission
+// with load shedding (WithMaxInflight; overflow is shed with 429 +
+// Retry-After) → per-route metrics. Plain-text error pages (including the
+// mux's own 404/405) are rewritten into the same JSON error shape the
+// handlers use.
+//
+// The request context is threaded end-to-end: prediction handlers call the
+// engine's PredictCtx/PredictBatchCtx, so a client disconnect or deadline
+// expiry aborts inference at the next stage boundary (DESIGN.md §9).
+// Shutdown(ctx) turns the server away from traffic (new requests get 503,
+// /v1/healthz reports draining), waits for in-flight requests to drain, and
+// flushes a final metrics snapshot through the logger.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/discovery"
+	"github.com/sematype/pythagoras/internal/faultinject"
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/table"
@@ -59,6 +73,12 @@ const (
 	maxBatchBodyBytes = 64 << 20
 )
 
+// statusClientClosedRequest is the nginx-convention status for a request
+// whose client went away before the response was ready. The connection is
+// usually gone by the time it is written; it exists for the access log and
+// per-route error counters.
+const statusClientClosedRequest = 499
+
 // Server wires the inference engine and index into an http.Handler.
 type Server struct {
 	engine  *infer.Engine
@@ -68,6 +88,22 @@ type Server struct {
 	metrics *obs.Registry
 	logger  *log.Logger // access-log + panic sink; nil silences both
 	debug   bool        // mounts /debug/pprof/* and /debug/vars
+
+	// requestTimeout bounds end-to-end request processing, queue wait
+	// included (0 = unbounded). Expiry surfaces as a JSON 504.
+	requestTimeout time.Duration
+	// maxInflight caps concurrently processed requests; the same number
+	// again may wait in the admission queue, everything beyond is shed with
+	// 429. 0 disables admission control.
+	maxInflight int
+	maxQueue    int
+	sem         chan struct{} // counting semaphore, cap maxInflight
+	queued      atomic.Int64  // requests waiting in the admission queue
+	inflight    atomic.Int64  // admitted requests currently being served
+	draining    atomic.Bool   // set by Shutdown: turn new work away
+	shed        *obs.Counter  // http.shed — requests rejected with 429
+	timeouts    *obs.Counter  // http.timeouts — requests expired with 504
+	faults      *faultinject.Set
 
 	idPrefix uint32 // per-process request-ID prefix
 	reqSeq   atomic.Uint64
@@ -93,6 +129,30 @@ func WithLogger(l *log.Logger) Option {
 // cost CPU, so production turns them on deliberately (`serve -debug`).
 func WithDebug(debug bool) Option {
 	return func(s *Server) { s.debug = debug }
+}
+
+// WithRequestTimeout bounds each request's end-to-end processing time,
+// admission-queue wait included. An expired deadline aborts inference at
+// the next stage boundary and returns a JSON 504. 0 (the default) disables
+// the per-request deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.requestTimeout = d }
+}
+
+// WithMaxInflight caps how many requests are processed concurrently. Up to
+// the same number again wait in a bounded admission queue (the wait counts
+// against the request deadline); anything beyond that is shed immediately
+// with 429 and a Retry-After header. /v1/healthz, /v1/metrics and /debug
+// bypass admission so the instance stays observable under overload.
+// 0 (the default) disables admission control.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.maxInflight = n }
+}
+
+// WithFaults arms fault-injection points on the serving path — test support
+// for the chaos suite, never set in production (nil disables, the default).
+func WithFaults(fs *faultinject.Set) Option {
+	return func(s *Server) { s.faults = fs }
 }
 
 // New builds a server around a trained model. minConfidence filters what
@@ -123,6 +183,23 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 	}
 	eng.EnableMetrics(s.metrics) // no-op if the engine brought its own
 
+	if s.maxInflight > 0 {
+		s.sem = make(chan struct{}, s.maxInflight)
+		if s.maxQueue <= 0 {
+			s.maxQueue = s.maxInflight
+		}
+	}
+	s.shed = s.metrics.Counter("http.shed")
+	s.timeouts = s.metrics.Counter("http.timeouts")
+	s.metrics.GaugeFunc("http.inflight", func() float64 { return float64(s.inflight.Load()) })
+	s.metrics.GaugeFunc("http.queue.depth", func() float64 { return float64(s.queued.Load()) })
+	s.metrics.GaugeFunc("http.draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+
 	s.route("POST /v1/predict", s.handlePredict)
 	s.route("POST /v1/predict-batch", s.handlePredictBatch)
 	s.route("POST /v1/index", s.handleIndex)
@@ -142,9 +219,39 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 		s.metrics.PublishExpvar("pythagoras")
 	}
 
-	s.handler = s.withRequestID(s.withAccessLog(s.withRecover(s.mux)))
+	s.handler = s.withRequestID(s.withAccessLog(s.withRecover(s.withDeadline(s.withAdmission(s.mux)))))
 	return s
 }
+
+// Shutdown gracefully stops the server's request processing: it stops
+// accepting work (new requests are rejected with 503 and /v1/healthz flips
+// to draining — load balancers pull the instance), waits for admitted
+// in-flight requests to drain, and flushes a final metrics snapshot through
+// the logger. It returns ctx's error if the drain does not finish in time,
+// with requests still running; callers pair it with http.Server.Shutdown,
+// which closes the listeners. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: shutdown aborted with %d requests in flight: %w",
+				s.inflight.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	if s.logger != nil {
+		if raw, err := json.Marshal(s.metrics.Snapshot()); err == nil {
+			s.logger.Printf("shutdown: drained, final metrics %s", raw)
+		}
+	}
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // model returns the engine's underlying model.
 func (s *Server) model() *core.Model { return s.engine.Model() }
@@ -266,17 +373,40 @@ func toResponse(t *table.Table, preds []core.ColumnPrediction) *PredictResponse 
 	return resp
 }
 
-func (s *Server) predict(tr *TableRequest) (*table.Table, []core.ColumnPrediction, error) {
+// writeInferErr maps an aborted inference call onto the wire: an expired
+// deadline is the server's fault (504, counted under http.timeouts), a
+// vanished client gets the conventional 499 (the connection is usually
+// already gone — the status feeds the access log and error counters), and
+// anything else (injected faults included) is a 500.
+func (s *Server) writeInferErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeErr(w, http.StatusGatewayTimeout, "request timed out after %s", s.requestTimeout)
+	case errors.Is(err, context.Canceled):
+		writeErr(w, statusClientClosedRequest, "client closed request")
+	default:
+		writeErr(w, http.StatusInternalServerError, "inference failed: %v", err)
+	}
+}
+
+func (s *Server) predict(ctx context.Context, tr *TableRequest) (*table.Table, []core.ColumnPrediction, error) {
 	t, err := tr.toTable()
 	if err != nil {
 		return nil, nil, err
 	}
-	return t, s.engine.Predict(t), nil
+	preds, err := s.engine.PredictCtx(ctx, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, preds, nil
 }
 
 // decodeJSONBody decodes a size-capped JSON body into v, writing the JSON
 // error response itself on failure: 413 when the body exceeds limit, 400
-// for malformed or unknown-field payloads.
+// for malformed, unknown-field, or trailing-garbage payloads. The body must
+// be exactly one JSON value — `{...}garbage` is rejected, not silently
+// truncated (the second Decode must hit io.EOF).
 func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
@@ -288,6 +418,10 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, limit int64, v any) 
 			return false
 		}
 		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "invalid request body: trailing data after JSON value")
 		return false
 	}
 	return true
@@ -318,8 +452,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, inferSp := obs.StartSpan(ctx, "infer")
-	preds := s.engine.Predict(t)
+	preds, err := s.engine.PredictCtx(ctx, t)
 	inferSp.End()
+	if err != nil {
+		s.writeInferErr(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, toResponse(t, preds))
 }
 
@@ -351,8 +489,12 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	parse.End()
 
 	_, inferSp := obs.StartSpan(ctx, "infer")
-	batch := s.engine.PredictBatch(tables)
+	batch, err := s.engine.PredictBatchCtx(ctx, tables)
 	inferSp.End()
+	if err != nil {
+		s.writeInferErr(w, err)
+		return
+	}
 	resp := BatchResponse{Results: make([]PredictResponse, len(batch))}
 	for i, preds := range batch {
 		resp.Results[i] = *toResponse(tables[i], preds)
@@ -377,8 +519,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "indexing requires a table id")
 		return
 	}
-	t, preds, err := s.predict(tr)
+	t, preds, err := s.predict(r.Context(), tr)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.writeInferErr(w, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -416,8 +562,14 @@ func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.index.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		// Load balancers poll this endpoint: a draining instance must fail
+		// its health check so traffic moves away before the listener closes.
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
 		"types":          len(s.model().Types()),
 		"indexed_tables": st.Tables,
 		"indexed_cols":   st.Columns,

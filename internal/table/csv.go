@@ -15,11 +15,25 @@ import (
 // WriteCSV writes the table as a standard CSV with a header row.
 func WriteCSV(t *Table, w io.Writer) error {
 	cw := csv.NewWriter(w)
+	// A record that is a single empty field would serialize as a blank line,
+	// which CSV readers skip — the row (or the whole header) would vanish on
+	// re-read. Force quotes so such records survive the round trip.
+	writeRec := func(rec []string) error {
+		if len(rec) == 1 && rec[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			_, err := io.WriteString(w, "\"\"\n")
+			return err
+		}
+		return cw.Write(rec)
+	}
 	headers := make([]string, len(t.Columns))
 	for i, c := range t.Columns {
 		headers[i] = c.Header
 	}
-	if err := cw.Write(headers); err != nil {
+	if err := writeRec(headers); err != nil {
 		return err
 	}
 	rows := t.NumRows()
@@ -32,7 +46,7 @@ func WriteCSV(t *Table, w io.Writer) error {
 				rec[i] = c.TextValues[r]
 			}
 		}
-		if err := cw.Write(rec); err != nil {
+		if err := writeRec(rec); err != nil {
 			return err
 		}
 	}

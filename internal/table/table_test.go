@@ -240,6 +240,34 @@ func TestSaveLoadDir(t *testing.T) {
 	}
 }
 
+// TestWriteCSVPreservesEmptyRecords: a single-column table whose header or
+// a row is the empty string must survive a write→read round trip. A naive
+// writer emits a blank line for such records, and CSV readers skip blank
+// lines — the fuzzer found exactly this row-loss (see the committed
+// FuzzCSVTable corpus); the writer now quotes lone empty fields.
+func TestWriteCSVPreservesEmptyRecords(t *testing.T) {
+	tb := &Table{Name: "t", ID: "t", Columns: []*Column{
+		{Header: "", Kind: KindText, TextValues: []string{"", "x", ""}},
+	}}
+	var buf strings.Builder
+	if err := WriteCSV(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t", "t", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-read: %v\ncsv:\n%s", err, buf.String())
+	}
+	if len(got.Columns) != 1 || got.Columns[0].Header != "" {
+		t.Fatalf("header lost: %+v", got.Columns)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3\ncsv:\n%s", got.NumRows(), buf.String())
+	}
+	if got.Columns[0].TextValues[1] != "x" {
+		t.Fatalf("values reordered: %v", got.Columns[0].TextValues)
+	}
+}
+
 func TestLoadDirMissingLabelsStillLoads(t *testing.T) {
 	dir := t.TempDir()
 	tb := sampleTable()
