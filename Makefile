@@ -17,12 +17,16 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detect the concurrent serving path: the staged inference engine, the
-# sharded encoder cache, the fault-injection hooks, and the HTTP server —
-# this is what runs the cancellation/shedding/shutdown chaos suites under
-# the race detector.
+# Race-detect the concurrent paths: the staged inference engine, the
+# data-parallel trainer (worker-count bit-identity + train chaos suites live
+# in internal/core), the shared worker pool, the sharded encoder cache, the
+# fault-injection hooks, and the HTTP server — this is what runs the
+# cancellation/shedding/shutdown chaos suites under the race detector.
+# -p 1 serializes the packages: the chaos suites assert wall-clock drain
+# bounds, and running them alongside the (CPU-heavy) training race tests on
+# a small machine starves those timers into flakes.
 race:
-	$(GO) test -race ./internal/core/... ./internal/infer/... ./internal/lm/... ./internal/server/... ./internal/faultinject/...
+	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/...
 
 # Total statement coverage at the time the production-hardening PR landed;
 # `make cover` fails if the tree ever drops below it.
@@ -42,13 +46,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/table/
 	$(GO) test -run '^$$' -fuzz FuzzCSVTable -fuzztime 10s ./internal/table/
 	$(GO) test -run '^$$' -fuzz FuzzTableRequestDecode -fuzztime 10s ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzModelLoad -fuzztime 10s ./internal/core/
 
 # One quick-scale pass per paper table/figure plus component micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# Machine-readable serving-latency baseline: ns/op for PredictBatch at batch
-# sizes 1/4/16, written to BENCH_infer.json for regression tracking.
+# Machine-readable performance baselines for regression tracking:
+#  - BENCH_infer.json — ns/op for PredictBatch at batch sizes 1/4/16
+#  - BENCH_train.json — ns/op for one training epoch at 1/4/16 workers
+#    (results are bit-identical at every count; only the time changes)
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredictBatch/' -benchtime=10x . \
 		| awk 'BEGIN { printf "{" } \
@@ -57,6 +64,13 @@ bench-json:
 		           if (n++) printf ","; printf "\n  \"%s_ns_per_op\": %s", name, $$3 } \
 		       END { printf "\n}\n" }' \
 		| tee BENCH_infer.json
+	$(GO) test -run '^$$' -bench 'BenchmarkTrainEpoch/' -benchtime=3x . \
+		| awk 'BEGIN { printf "{" } \
+		       /^BenchmarkTrainEpoch\// { \
+		           name=$$1; sub(/^BenchmarkTrainEpoch\//, "", name); sub(/-[0-9]+$$/, "", name); \
+		           if (n++) printf ","; printf "\n  \"%s_ns_per_op\": %s", name, $$3 } \
+		       END { printf "\n}\n" }' \
+		| tee BENCH_train.json
 
 # Reproduce the paper's evaluation at reduced scale (minutes).
 experiments:

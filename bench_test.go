@@ -270,6 +270,36 @@ func BenchmarkPredictBatchInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpoch measures one data-parallel training epoch at 1, 4 and
+// 16 workers over the same corpus and seed. The trained parameters are
+// bit-identical at every worker count (see core's worker-count identity
+// test); this benchmark tracks the wall-clock side of that trade — epoch
+// time and epochs/sec versus parallelism — and feeds BENCH_train.json via
+// `make bench-json`.
+func BenchmarkTrainEpoch(b *testing.B) {
+	c := data.GenerateSportsTables(data.SportsConfig{
+		NumTables: 42, Seed: 11, MinRows: 10, MaxRows: 16, WeakNameProb: 0.1, Domains: 3,
+	})
+	enc := lm.NewEncoder(lm.Config{Dim: 32, Layers: 1, Heads: 2, FFNDim: 64, MaxLen: 256, Buckets: 1 << 12, Seed: 7})
+	train := make([]int, 40)
+	for i := range train {
+		train[i] = i
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(enc)
+				cfg.Epochs = 1
+				cfg.TrainWorkers = workers
+				if _, err := core.Train(c, train, []int{40, 41}, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "epochs/sec")
+		})
+	}
+}
+
 // BenchmarkBaselineSherlockFeaturize measures Sherlock's feature pipeline
 // per table.
 func BenchmarkBaselineSherlockFeaturize(b *testing.B) {

@@ -27,6 +27,7 @@ func main() {
 	out := flag.String("out", "", "also write results to this file")
 	md := flag.String("markdown", "", "write a markdown report (EXPERIMENTS.md section) to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	trainWorkers := flag.Int("train-workers", 0, "worker goroutines per training run (0 = all CPUs; scores are identical at any count)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -43,6 +44,7 @@ func main() {
 	if !*quiet {
 		scale.Logf = log.Printf
 	}
+	scale.Pythagoras.TrainWorkers = *trainWorkers
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -96,6 +96,7 @@ func cmdTrain(args []string) {
 	epochs := fs.Int("epochs", 150, "training epochs")
 	lr := fs.Float64("lr", 1e-2, "initial learning rate (linearly decayed)")
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "training worker goroutines (0 = all CPUs; results are identical at any count)")
 	metrics := fs.Bool("metrics", false, "stream a JSON metrics snapshot to stdout after every epoch")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
@@ -114,6 +115,7 @@ func cmdTrain(args []string) {
 	cfg.Epochs = *epochs
 	cfg.LearningRate = *lr
 	cfg.Seed = *seed
+	cfg.TrainWorkers = *workers
 	cfg.Logf = log.Printf
 	if *metrics {
 		reg := obs.NewRegistry()

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/nn"
+	"github.com/sematype/pythagoras/internal/table"
+	"github.com/sematype/pythagoras/internal/tensor"
+)
+
+// fuzzSaveBytes trains nothing: it builds an untrained model on the fuzz
+// encoder and serializes it — a structurally valid checkpoint to mutate.
+func fuzzSaveBytes(tb testing.TB, cfg Config) []byte {
+	tb.Helper()
+	m := newModel(cfg, []string{"player.age", "player.height", "team.name"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzModelLoad drives core.Load (and through it nn.Params.DecodeGob) with
+// arbitrary byte streams: truncations, bit flips, and checkpoints whose
+// declared geometry disagrees with their parameter payload. The contract is
+// error-not-panic — a corrupt checkpoint must be rejected cleanly, never
+// crash the server loading it, and never come back as a silently
+// half-loaded model. When a load unexpectedly succeeds, the model must be
+// fully usable: we run a prediction to shake out any accepted
+// shape-mismatch before it could crash a serving path.
+func FuzzModelLoad(f *testing.F) {
+	enc := tinyEncoder()
+	cfg := Config{Encoder: enc, GNNLayers: 2, HiddenDim: 48, Seed: 5}
+	valid := fuzzSaveBytes(f, cfg)
+
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream at all"))
+	f.Add(valid)
+	// Truncated streams: mid-meta and mid-params.
+	f.Add(valid[:17])
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-3])
+	// Corrupted gob: bit flips in the meta header and the parameter payload.
+	for _, at := range []int{5, len(valid) / 3, 2 * len(valid) / 3} {
+		bad := append([]byte(nil), valid...)
+		bad[at] ^= 0x5a
+		f.Add(bad)
+	}
+	// Shape mismatch: metadata from one geometry, parameters from another.
+	mismatched := fuzzSaveBytes(f, Config{Encoder: enc, GNNLayers: 2, HiddenDim: 64, Seed: 5})
+	var metaBuf bytes.Buffer
+	ge := gob.NewEncoder(&metaBuf)
+	if err := ge.Encode(savedMeta{Types: []string{"player.age", "player.height", "team.name"},
+		Hidden: enc.Dim(), HiddenDim: 48, GNNLayers: 2}); err != nil {
+		f.Fatal(err)
+	}
+	wrongModel := newModel(Config{Encoder: enc, GNNLayers: 2, HiddenDim: 64, Seed: 5},
+		[]string{"player.age", "player.height", "team.name"})
+	if err := wrongModel.params.EncodeGob(ge); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(metaBuf.Bytes())
+	f.Add(mismatched)
+
+	probe := &table.Table{Name: "Fuzz Probe", ID: "fz", Columns: []*table.Column{
+		{Header: "name", Kind: table.KindText, TextValues: []string{"a", "b"}},
+		{Header: "age", Kind: table.KindNumeric, NumValues: []float64{21, 34}},
+	}}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data), Config{Encoder: enc})
+		if err != nil {
+			return
+		}
+		// A successful load must yield a complete, usable model.
+		if len(m.Types()) == 0 {
+			t.Fatal("loaded model has no types")
+		}
+		if got := m.PredictTable(probe); len(got) != len(probe.Columns) {
+			t.Fatalf("loaded model predicted %d of %d columns", len(got), len(probe.Columns))
+		}
+	})
+}
+
+// TestDecodeGobRejectsLengthMismatch pins the checkpoint-hardening fix: a
+// parameter whose declared shape matches but whose data payload is short
+// (a truncated-then-re-encoded or hand-corrupted stream) must be rejected,
+// not silently half-copied over the random init.
+func TestDecodeGobRejectsLengthMismatch(t *testing.T) {
+	// Encode a parameter list by hand with a lying Data length.
+	type savedParamWire struct {
+		Name       string
+		Rows, Cols int
+		Data       []float64
+	}
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode([]savedParamWire{{Name: "w", Rows: 2, Cols: 3, Data: []float64{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	p := nn.NewParams()
+	p.Add("w", tensor.New(2, 3))
+	if err := p.Load(&buf); err == nil {
+		t.Fatal("short parameter payload accepted")
+	}
+}
+
+// TestDecodeGobRejectsMissingParams pins the other half: a checkpoint that
+// simply omits a model parameter must not load (the omitted layer would
+// silently keep its random initialization).
+func TestDecodeGobRejectsMissingParams(t *testing.T) {
+	src := nn.NewParams()
+	src.Add("a", tensor.New(1, 2))
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := nn.NewParams()
+	dst.Add("a", tensor.New(1, 2))
+	dst.Add("b", tensor.New(1, 2))
+	if err := dst.Load(&buf); err == nil {
+		t.Fatal("checkpoint missing a parameter accepted")
+	}
+}

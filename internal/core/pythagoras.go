@@ -9,24 +9,28 @@
 package core
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/sematype/pythagoras/internal/autodiff"
 	"github.com/sematype/pythagoras/internal/colfeat"
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
+	"github.com/sematype/pythagoras/internal/faultinject"
 	"github.com/sematype/pythagoras/internal/features"
 	"github.com/sematype/pythagoras/internal/gnn"
 	"github.com/sematype/pythagoras/internal/graph"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/nn"
 	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/table"
 	"github.com/sematype/pythagoras/internal/tensor"
 )
@@ -51,10 +55,22 @@ type Config struct {
 	Epochs       int
 	// BatchSize is the number of tables whose graphs are unioned per step.
 	BatchSize int
-	// Patience is the early-stopping patience in epochs.
+	// Patience is the early-stopping patience in epochs (<= 0 selects the
+	// default of 30; to disable early stopping set Patience >= Epochs).
 	Patience int
 	Dropout  float64
 	Seed     int64
+	// TrainWorkers bounds the trainer's parallelism: the prepare fan-out,
+	// the data-parallel forward/backward passes within each optimizer step,
+	// and validation scoring between epochs (0 or negative = NumCPU, 1 =
+	// serial). The trained parameters are bit-identical at every worker
+	// count — the trainer's decomposition and gradient-merge order do not
+	// depend on it (DESIGN.md §10).
+	TrainWorkers int
+	// Faults, when non-nil, arms fault-injection points at the trainer's
+	// stage boundaries (prepare/step/merge/val) — test support for the
+	// cancellation chaos suite, never set in production.
+	Faults *faultinject.Set
 	// Graph carries the ablation switches (Table 4) and serialization
 	// options.
 	Graph graph.BuildOptions
@@ -487,7 +503,41 @@ func (m *Model) InferProbs(p *Prepared) (*tensor.Matrix, []int) {
 }
 
 // Train fits Pythagoras on the corpus using the given table index splits.
+// It is TrainCtx under a background context (not cancellable).
 func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
+	return TrainCtx(context.Background(), c, trainIdx, valIdx, cfg)
+}
+
+// defaultPatience is applied when Config.Patience is unset: without it a
+// zero-value Config handed NewEarlyStopper a patience of 0, which aborts at
+// the first non-improving epoch.
+const defaultPatience = 30
+
+// valChunk caps how many validation tables are unioned into one scoring
+// forward — the inference engine's default maxBatch.
+const valChunk = 16
+
+// TrainCtx fits Pythagoras on the corpus using the given table index
+// splits, with the deterministic data-parallel pipeline (DESIGN.md §10):
+//
+//   - Prepare of train/val tables fans out over cfg.TrainWorkers workers.
+//   - Each optimizer step decomposes its shuffled minibatch into per-table
+//     sub-batches, runs forward/backward on each with a private tape,
+//     GradSet and dropout RNG (seeded from (Seed, step, sub-index) only),
+//     then merges the loss-weighted gradients in fixed sub-index order and
+//     applies a single Adam update.
+//   - Validation scoring between epochs runs as chunked union forwards in
+//     parallel.
+//
+// Because no part of the decomposition, RNG seeding or merge order depends
+// on the worker count or on scheduling, the trained parameters are
+// bit-identical at any TrainWorkers — the training-side counterpart of the
+// inference engine's union-forward identity.
+//
+// Cancellation is observed before every stage and before each work item a
+// worker claims (partial-work drain, exactly as in serving): a cancelled
+// context aborts training and returns the context's error.
+func TrainCtx(ctx context.Context, c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 	if len(trainIdx) == 0 {
 		return nil, fmt.Errorf("core: empty training split")
 	}
@@ -496,28 +546,14 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-
-	logf("pythagoras: preparing %d train / %d val tables", len(trainIdx), len(valIdx))
-	trainPrep := make([]*Prepared, len(trainIdx))
-	for i, ti := range trainIdx {
-		trainPrep[i] = m.Prepare(c.Tables[ti])
+	workers := cfg.TrainWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	m.fitFeatureScaling(trainPrep)
-	m.fitStateScaling(trainPrep)
-	valPrep := make([]*Prepared, len(valIdx))
-	for i, vi := range valIdx {
-		valPrep[i] = m.Prepare(c.Tables[vi])
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = defaultPatience
 	}
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	opt := nn.NewAdam(cfg.LearningRate)
-	stopper := nn.NewEarlyStopper(cfg.Patience)
-	batch := cfg.BatchSize
-	if batch <= 0 {
-		batch = 16
-	}
-	totalSteps := cfg.Epochs * ((len(trainPrep) + batch - 1) / batch)
-	step := 0
 
 	// Training telemetry flows through the same registry shape the serving
 	// path uses; all handles are nil (free no-ops) when cfg.Metrics is unset.
@@ -526,10 +562,54 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 	valF1Gauge := cfg.Metrics.Gauge("train.val.weighted_f1")
 	epochHist := cfg.Metrics.Histogram("train.epoch.seconds", nil)
 	stepCounter := cfg.Metrics.Counter("train.steps")
+	prepHist := cfg.Metrics.Histogram("train.prepare.seconds", nil)
+	fbHist := cfg.Metrics.Histogram("train.fb.seconds", nil)
+	mergeHist := cfg.Metrics.Histogram("train.merge.seconds", nil)
+	valHist := cfg.Metrics.Histogram("train.val.seconds", nil)
+
+	logf("pythagoras: preparing %d train / %d val tables (%d workers)",
+		len(trainIdx), len(valIdx), workers)
+	prepare := func(prep []*Prepared, idx []int) error {
+		return par.For(ctx, workers, len(idx), func(i int) error {
+			if err := cfg.Faults.Fire(ctx, faultinject.TrainPrepare); err != nil {
+				return err
+			}
+			t0 := time.Now()
+			prep[i] = m.Prepare(c.Tables[idx[i]])
+			prepHist.Since(t0)
+			return nil
+		})
+	}
+	trainPrep := make([]*Prepared, len(trainIdx))
+	if err := prepare(trainPrep, trainIdx); err != nil {
+		return nil, err
+	}
+	// The scaling fits run serially after the parallel prepare: their
+	// accumulation order (table index order) is part of the determinism
+	// contract.
+	m.fitFeatureScaling(trainPrep)
+	m.fitStateScaling(trainPrep)
+	valPrep := make([]*Prepared, len(valIdx))
+	if err := prepare(valPrep, valIdx); err != nil {
+		return nil, err
+	}
+
+	// The shuffle RNG is dedicated: dropout masks come from per-sub-batch
+	// RNGs seeded by (Seed, step, sub-index), so the epoch's table order and
+	// the masks are both independent of how work lands on workers.
+	shuffleRng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LearningRate)
+	stopper := nn.NewEarlyStopper(patience)
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	totalSteps := cfg.Epochs * ((len(trainPrep) + batch - 1) / batch)
+	step := 0
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
-		rng.Shuffle(len(trainPrep), func(i, j int) { trainPrep[i], trainPrep[j] = trainPrep[j], trainPrep[i] })
+		shuffleRng.Shuffle(len(trainPrep), func(i, j int) { trainPrep[i], trainPrep[j] = trainPrep[j], trainPrep[i] })
 		var epochLoss float64
 		var steps int
 		for at := 0; at < len(trainPrep); at += batch {
@@ -537,22 +617,16 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 			if end > len(trainPrep) {
 				end = len(trainPrep)
 			}
-			p := UnionPrepared(trainPrep[at:end])
-			tape := autodiff.NewTape()
-			grads := nn.NewGradSet()
-			logits, targets := m.forward(tape, grads, p, rng, true)
-			labels := make([]int, len(targets))
-			for i, n := range targets {
-				labels[i] = p.Graph.Labels[n]
+			if err := trainGate(ctx, cfg.Faults, faultinject.TrainStep); err != nil {
+				return nil, err
 			}
-			loss := tape.SoftmaxCrossEntropy(logits, labels, nil)
-			tape.Backward(loss)
-			grads.ClipByGlobalNorm(5)
-			opt.SetLR(nn.LinearDecay(cfg.LearningRate, step, totalSteps))
-			opt.Step(m.params, grads)
+			stepLoss, err := m.trainStep(ctx, trainPrep[at:end], opt, cfg, workers, step, totalSteps, fbHist, mergeHist)
+			if err != nil {
+				return nil, err
+			}
 			step++
 			stepCounter.Inc()
-			epochLoss += loss.Value.Data[0]
+			epochLoss += stepLoss
 			steps++
 		}
 		epochGauge.Set(float64(epoch))
@@ -560,7 +634,16 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 		epochHist.Since(epochStart)
 
 		if len(valPrep) > 0 {
-			valF1 := m.scorePrepared(valPrep).Overall.WeightedF1
+			if err := trainGate(ctx, cfg.Faults, faultinject.TrainVal); err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			split, err := m.scorePreparedCtx(ctx, valPrep, workers)
+			if err != nil {
+				return nil, err
+			}
+			valHist.Since(t0)
+			valF1 := split.Overall.WeightedF1
 			valF1Gauge.Set(valF1)
 			logf("pythagoras: epoch %d loss=%.4f val-wF1=%.4f", epoch, epochLoss/float64(steps), valF1)
 			if stopper.Observe(epoch, valF1, m.params) {
@@ -572,19 +655,147 @@ func Train(c *data.Corpus, trainIdx, valIdx []int, cfg Config) (*Model, error) {
 			logf("pythagoras: epoch %d loss=%.4f", epoch, epochLoss/float64(steps))
 		}
 	}
-	if len(valPrep) > 0 {
-		stopper.RestoreBest(m.params)
+	if len(valPrep) > 0 && !stopper.RestoreBest(m.params) {
+		logf("pythagoras: warning: no early-stop snapshot was ever taken "+
+			"(validation metric never finite: %d NaN epochs); keeping final-epoch parameters",
+			stopper.NaNsSeen())
 	}
 	return m, nil
 }
 
-// scorePrepared evaluates prepared tables (no dropout, no grads).
-func (m *Model) scorePrepared(ps []*Prepared) *eval.Split {
-	var preds []eval.Prediction
-	for _, p := range ps {
-		preds = append(preds, m.LabeledPredictions(p)...)
+// trainGate is the trainer's per-stage interruption check: context first,
+// then any armed fault. Both are one branch each when unset.
+func trainGate(ctx context.Context, fs *faultinject.Set, p faultinject.Point) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
-	return eval.ComputeSplit(preds)
+	return fs.Fire(ctx, p)
+}
+
+// trainStep runs one data-parallel optimizer step over the minibatch bp.
+//
+// Decomposition: each table of the minibatch is its own sub-batch — a unit
+// that depends only on the (already deterministic) shuffle, never on the
+// worker count. Every sub-batch gets a private tape, GradSet and dropout
+// RNG; its loss is scaled on the tape by labeled_k/labeled_total so that
+// the summed sub-gradients equal the gradient of the minibatch's pooled
+// mean cross-entropy (what the serial union forward computed). The partial
+// gradients are then merged in sub-index order (nn.MergeGradSets), clipped,
+// and applied as a single Adam update.
+//
+// It returns the minibatch loss (the weighted sum of sub-losses, summed in
+// sub-index order — reproducible to the bit).
+func (m *Model) trainStep(ctx context.Context, bp []*Prepared, opt nn.Optimizer, cfg Config, workers, step, totalSteps int, fbHist, mergeHist *obs.Histogram) (float64, error) {
+	// Per-sub-batch labels and labeled-row counts, computed up front: the
+	// loss weights must be in hand before the parallel section starts.
+	labels := make([][]int, len(bp))
+	totalLabeled := 0
+	for si, p := range bp {
+		targets := p.Graph.TargetNodes()
+		ls := make([]int, len(targets))
+		for i, n := range targets {
+			ls[i] = p.Graph.Labels[n]
+			if ls[i] >= 0 {
+				totalLabeled++
+			}
+		}
+		labels[si] = ls
+	}
+	denom := float64(totalLabeled)
+	if totalLabeled == 0 {
+		denom = 1 // all-unlabeled minibatch: zero loss, zero gradients
+	}
+
+	grads := make([]*nn.GradSet, len(bp))
+	losses := make([]float64, len(bp))
+	err := par.For(ctx, workers, len(bp), func(si int) error {
+		t0 := time.Now()
+		p := bp[si]
+		labeled := 0
+		for _, l := range labels[si] {
+			if l >= 0 {
+				labeled++
+			}
+		}
+		tape := autodiff.NewTape()
+		gs := nn.NewGradSet()
+		rng := rand.New(rand.NewSource(subBatchSeed(cfg.Seed, step, si)))
+		logits, _ := m.forward(tape, gs, p, rng, true)
+		loss := tape.SoftmaxCrossEntropy(logits, labels[si], nil)
+		scaled := tape.Scale(loss, float64(labeled)/denom)
+		tape.Backward(scaled)
+		grads[si] = gs
+		losses[si] = scaled.Value.Data[0]
+		fbHist.Since(t0)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := trainGate(ctx, cfg.Faults, faultinject.TrainMerge); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	merged := nn.MergeGradSets(grads)
+	merged.ClipByGlobalNorm(5)
+	opt.SetLR(nn.LinearDecay(cfg.LearningRate, step, totalSteps))
+	opt.Step(m.params, merged)
+	mergeHist.Since(t0)
+	var stepLoss float64
+	for _, l := range losses {
+		stepLoss += l
+	}
+	return stepLoss, nil
+}
+
+// subBatchSeed derives the dropout RNG seed of one sub-batch from the run
+// seed, the optimizer step and the sub-batch index — and nothing else, so
+// masks are reproducible at any worker count. SplitMix64 finalizer for
+// decorrelation between adjacent (step, sub) pairs.
+func subBatchSeed(seed int64, step, sub int) int64 {
+	h := uint64(seed) ^ 0x9E3779B97F4A7C15*uint64(step+1) ^ 0xBF58476D1CE4E5B9*uint64(sub+1)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int64(h)
+}
+
+// scorePrepared evaluates prepared tables (no dropout, no grads) serially.
+func (m *Model) scorePrepared(ps []*Prepared) *eval.Split {
+	split, _ := m.scorePreparedCtx(context.Background(), ps, 1)
+	return split
+}
+
+// scorePreparedCtx evaluates prepared tables in parallel: the tables are
+// chunked (never more than valChunk per union), each chunk scored with one
+// gradient-free union forward, and the per-chunk predictions concatenated
+// in chunk order. Chunk boundaries depend on the worker count but the
+// predictions do not: a union forward is bit-identical to the per-table
+// forwards it replaces, so the resulting metrics are worker-count
+// independent — which matters, because the validation F1 feeds the early
+// stopper and thereby the final parameters.
+func (m *Model) scorePreparedCtx(ctx context.Context, ps []*Prepared, workers int) (*eval.Split, error) {
+	bounds := par.Bounds(len(ps), workers, valChunk)
+	chunkPreds := make([][]eval.Prediction, len(bounds))
+	err := par.For(ctx, workers, len(bounds), func(ci int) error {
+		lo, hi := bounds[ci][0], bounds[ci][1]
+		p := ps[lo]
+		if hi-lo > 1 {
+			p = UnionPrepared(ps[lo:hi])
+		}
+		chunkPreds[ci] = m.LabeledPredictions(p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var preds []eval.Prediction
+	for _, cp := range chunkPreds {
+		preds = append(preds, cp...)
+	}
+	return eval.ComputeSplit(preds), nil
 }
 
 // LabeledPredictions runs an inference forward pass over a prepared batch
@@ -700,8 +911,70 @@ func (m *Model) SaveFile(path string) error {
 	return m.Save(f)
 }
 
+// Geometry ceilings for checkpoint metadata. A checkpoint declaring wider
+// or deeper geometry than these is corrupt (or adversarial): rejecting it
+// up front keeps a fuzzed byte stream from driving newModel into huge
+// allocations before the parameter shape checks can catch it.
+const (
+	maxLoadGNNLayers = 64
+	maxLoadHiddenDim = 1 << 16
+	maxLoadTypes     = 1 << 20
+)
+
+// validateMeta rejects checkpoint metadata whose declared geometry or
+// fitted scalings cannot belong to a model this encoder produces — the
+// error-not-panic contract FuzzModelLoad enforces.
+func validateMeta(meta *savedMeta, encDim int) error {
+	switch {
+	case len(meta.Types) == 0:
+		return fmt.Errorf("core: checkpoint has no semantic types")
+	case len(meta.Types) > maxLoadTypes:
+		return fmt.Errorf("core: checkpoint declares %d types (max %d)", len(meta.Types), maxLoadTypes)
+	case meta.GNNLayers < 0 || meta.GNNLayers > maxLoadGNNLayers:
+		return fmt.Errorf("core: checkpoint declares %d GNN layers (max %d)", meta.GNNLayers, maxLoadGNNLayers)
+	case meta.HiddenDim < 0 || meta.HiddenDim > maxLoadHiddenDim:
+		return fmt.Errorf("core: checkpoint declares hidden dim %d (max %d)", meta.HiddenDim, maxLoadHiddenDim)
+	case math.IsNaN(meta.Temperature) || math.IsInf(meta.Temperature, 0) || meta.Temperature < 0:
+		return fmt.Errorf("core: checkpoint temperature %v out of range", meta.Temperature)
+	}
+	seen := make(map[string]bool, len(meta.Types))
+	for _, st := range meta.Types {
+		if seen[st] {
+			return fmt.Errorf("core: checkpoint declares duplicate type %q", st)
+		}
+		seen[st] = true
+	}
+	// The fitted scalings must be absent together or sized together: a
+	// half-present pair would silently skip standardization (nil mean) or
+	// index out of range inside the hot loops.
+	stateDim := 2*encDim + colfeat.CharProfileDim
+	if meta.PlainLMStates {
+		stateDim = encDim
+	}
+	checkPair := func(what string, mean, std []float64, want int) error {
+		if len(mean) != len(std) {
+			return fmt.Errorf("core: checkpoint %s mean/std lengths differ (%d vs %d)", what, len(mean), len(std))
+		}
+		if len(mean) != 0 && len(mean) != want {
+			return fmt.Errorf("core: checkpoint %s scaling has %d dims, want %d", what, len(mean), want)
+		}
+		for _, v := range append(append([]float64(nil), mean...), std...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: checkpoint %s scaling holds a non-finite value", what)
+			}
+		}
+		return nil
+	}
+	if err := checkPair("feature", meta.FeatMean, meta.FeatStd, features.Dim); err != nil {
+		return err
+	}
+	return checkPair("state", meta.LMMean, meta.LMStd, stateDim)
+}
+
 // Load reads a model saved by Save. cfg supplies the encoder (whose Dim
-// must match the saved hidden width) and runtime options.
+// must match the saved hidden width) and runtime options. A truncated,
+// corrupted or shape-mismatched checkpoint returns an error — never a
+// panic, and never a silently half-loaded model (see FuzzModelLoad).
 func Load(r io.Reader, cfg Config) (*Model, error) {
 	dec := gob.NewDecoder(r)
 	var meta savedMeta
@@ -713,6 +986,9 @@ func Load(r io.Reader, cfg Config) (*Model, error) {
 	}
 	if cfg.Encoder.Dim() != meta.Hidden {
 		return nil, fmt.Errorf("core: encoder dim %d != saved hidden %d", cfg.Encoder.Dim(), meta.Hidden)
+	}
+	if err := validateMeta(&meta, cfg.Encoder.Dim()); err != nil {
+		return nil, err
 	}
 	cfg.GNNLayers = meta.GNNLayers
 	cfg.HiddenDim = meta.HiddenDim

@@ -39,6 +39,16 @@ const (
 	InferDecode Point = "infer.decode"
 	// ServerHandle fires once per admitted HTTP request, before the mux.
 	ServerHandle Point = "server.handle"
+	// TrainPrepare fires once per table in the trainer's prepare stage.
+	TrainPrepare Point = "train.prepare"
+	// TrainStep fires once per optimizer step, before the data-parallel
+	// forward/backward passes.
+	TrainStep Point = "train.step"
+	// TrainMerge fires once per optimizer step, after the sub-batch
+	// gradients are in and before the fixed-order merge + Adam update.
+	TrainMerge Point = "train.merge"
+	// TrainVal fires once per epoch, before validation scoring.
+	TrainVal Point = "train.val"
 )
 
 // Action is one injected behavior. A non-nil error aborts the stage that

@@ -39,14 +39,13 @@ package infer
 import (
 	"context"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
 	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/table"
 	"github.com/sematype/pythagoras/internal/tensor"
 )
@@ -160,17 +159,10 @@ func stageGate(ctx context.Context, fs *faultinject.Set, p faultinject.Point) er
 	return fs.Fire(ctx, p)
 }
 
-// parallelFor runs fn(0..n-1) over the engine's worker pool, stopping early
-// when the context is cancelled or any fn returns an error. Used for both
-// the prepare stage and the chunked forward stage: both only read the frozen
-// model and the internally synchronized encoder cache.
-//
-// Abort semantics are a partial-work drain: the context and the shared stop
-// flag are re-checked before each index a worker claims, so after a
-// cancellation no new work starts, every worker finishes the item it is
-// inside, and parallelFor returns only when all workers have parked. The
-// first error wins; output slots written before the abort are simply
-// discarded by the caller.
+// parallelFor runs fn(0..n-1) over the engine's worker pool via par.For
+// (drain-on-cancel semantics, first error wins). Used for both the prepare
+// stage and the chunked forward stage: both only read the frozen model and
+// the internally synchronized encoder cache.
 //
 // When instrumented, the infer.workers.busy gauge tracks how many pool
 // workers are inside fn — sampled by registry snapshots, it is the
@@ -184,57 +176,7 @@ func (e *Engine) parallelFor(ctx context.Context, n int, fn func(i int) error) e
 			return inner(i)
 		}
 	}
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		next     atomic.Int64
-		stop     atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		stop.Store(true)
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return par.For(ctx, e.workers, n, fn)
 }
 
 // chunkBounds splits n prepared tables into contiguous [lo, hi) chunks — as
@@ -242,22 +184,7 @@ func (e *Engine) parallelFor(ctx context.Context, n int, fn func(i int) error) e
 // boundaries are unobservable in the output: a union forward is bit-identical
 // to the per-table forwards it replaces.
 func (e *Engine) chunkBounds(n int) [][2]int {
-	size := (n + e.workers - 1) / e.workers
-	if size > e.maxBatch {
-		size = e.maxBatch
-	}
-	if size < 1 {
-		size = 1
-	}
-	bounds := make([][2]int, 0, (n+size-1)/size)
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		bounds = append(bounds, [2]int{lo, hi})
-	}
-	return bounds
+	return par.Bounds(n, e.workers, e.maxBatch)
 }
 
 // forwardChunk runs one gradient-free forward over ps[lo:hi] (unioned when

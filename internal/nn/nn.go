@@ -126,22 +126,37 @@ func (p *Params) Load(r io.Reader) error {
 	return p.DecodeGob(gob.NewDecoder(r))
 }
 
-// DecodeGob is the streaming counterpart of EncodeGob.
+// DecodeGob is the streaming counterpart of EncodeGob. A saved parameter
+// whose declared shape or data length disagrees with the model is an error,
+// never a silent partial copy — a corrupted or truncated checkpoint must be
+// rejected, not half-loaded (see core.FuzzModelLoad).
 func (p *Params) DecodeGob(dec *gob.Decoder) error {
 	var in []savedParam
 	if err := dec.Decode(&in); err != nil {
 		return fmt.Errorf("nn: decode params: %w", err)
 	}
+	loaded := make(map[string]bool, len(in))
 	for _, sp := range in {
 		m, ok := p.byKey[sp.Name]
 		if !ok {
 			return fmt.Errorf("nn: saved parameter %q not present in model", sp.Name)
 		}
+		if loaded[sp.Name] {
+			return fmt.Errorf("nn: saved parameter %q appears twice", sp.Name)
+		}
+		loaded[sp.Name] = true
 		if m.Rows != sp.Rows || m.Cols != sp.Cols {
 			return fmt.Errorf("nn: parameter %q shape %dx%d, saved %dx%d",
 				sp.Name, m.Rows, m.Cols, sp.Rows, sp.Cols)
 		}
+		if len(sp.Data) != len(m.Data) {
+			return fmt.Errorf("nn: parameter %q has %d values, want %d",
+				sp.Name, len(sp.Data), len(m.Data))
+		}
 		copy(m.Data, sp.Data)
+	}
+	if len(loaded) != len(p.byKey) {
+		return fmt.Errorf("nn: checkpoint holds %d of %d model parameters", len(loaded), len(p.byKey))
 	}
 	return nil
 }
@@ -283,28 +298,71 @@ func (g *GradSet) Grad(name string) *tensor.Matrix {
 	return v.Grad
 }
 
+// Names returns the tracked parameter names in sorted order — the fixed
+// iteration order every gradient reduction in this package uses, so that
+// floating-point accumulation is reproducible run to run.
+func (g *GradSet) Names() []string {
+	names := make([]string, 0, len(g.vars))
+	for n := range g.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ClipByGlobalNorm rescales all tracked gradients so their joint L2 norm is
-// at most maxNorm. It returns the pre-clip norm.
+// at most maxNorm. It returns the pre-clip norm. The sum of squares is
+// accumulated in sorted-name order: map-iteration order would make the norm
+// (and therefore the clipped parameters) differ by ulps between same-seed
+// runs whenever clipping engages.
 func (g *GradSet) ClipByGlobalNorm(maxNorm float64) float64 {
+	names := g.Names()
 	var total float64
-	for _, v := range g.vars {
-		if v.Grad == nil {
-			continue
-		}
-		for _, x := range v.Grad.Data {
-			total += x * x
+	for _, n := range names {
+		if v := g.vars[n]; v.Grad != nil {
+			for _, x := range v.Grad.Data {
+				total += x * x
+			}
 		}
 	}
 	norm := math.Sqrt(total)
 	if norm > maxNorm && norm > 0 {
 		s := maxNorm / norm
-		for _, v := range g.vars {
-			if v.Grad != nil {
+		for _, n := range names {
+			if v := g.vars[n]; v.Grad != nil {
 				v.Grad.ScaleInPlace(s)
 			}
 		}
 	}
 	return norm
+}
+
+// MergeGradSets sums the gradients of parts into a fresh GradSet holding
+// newly allocated matrices; the inputs are left untouched. For every
+// parameter name the partial gradients are added in part-index order, so
+// the merged result is a pure function of the parts slice — the
+// bit-identity cornerstone of the data-parallel trainer: however many
+// workers produced the parts, the merge accumulates them in the same fixed
+// order. Nil parts (skipped sub-batches) are ignored.
+func MergeGradSets(parts []*GradSet) *GradSet {
+	out := NewGradSet()
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for name, v := range part.vars {
+			if v.Grad == nil {
+				continue
+			}
+			acc, ok := out.vars[name]
+			if !ok {
+				acc = &autodiff.Var{Grad: tensor.New(v.Grad.Rows, v.Grad.Cols)}
+				out.vars[name] = acc
+			}
+			acc.Grad.AddInPlace(v.Grad)
+		}
+	}
+	return out
 }
 
 // --- optimizers ---
@@ -433,6 +491,7 @@ type EarlyStopper struct {
 	bestEpoch int
 	snapshot  map[string][]float64
 	seen      int
+	nans      int
 }
 
 // NewEarlyStopper returns a stopper with the given patience (epochs).
@@ -442,8 +501,19 @@ func NewEarlyStopper(patience int) *EarlyStopper {
 
 // Observe records the metric for an epoch. It returns true when training
 // should stop.
+//
+// A NaN metric — a poisoned validation pass — is handled explicitly: it is
+// never an improvement (the implicit `NaN > best` comparison is always
+// false, which used to make this an accident rather than a decision), it
+// never snapshots, and it counts against patience like any non-improving
+// epoch. Callers should check RestoreBest/HasSnapshot afterwards: a run
+// whose metric was never finite has no snapshot to restore.
 func (e *EarlyStopper) Observe(epoch int, metric float64, p *Params) bool {
 	e.seen++
+	if math.IsNaN(metric) {
+		e.nans++
+		return epoch-e.bestEpoch >= e.Patience
+	}
 	if metric > e.best {
 		e.best = metric
 		e.bestEpoch = epoch
@@ -453,11 +523,19 @@ func (e *EarlyStopper) Observe(epoch int, metric float64, p *Params) bool {
 	return epoch-e.bestEpoch >= e.Patience
 }
 
-// Best returns the best metric value and the epoch it occurred at.
+// Best returns the best metric value and the epoch it occurred at
+// (-Inf, -1 when no finite metric was ever observed).
 func (e *EarlyStopper) Best() (float64, int) { return e.best, e.bestEpoch }
 
+// HasSnapshot reports whether any epoch produced a best-parameter snapshot.
+func (e *EarlyStopper) HasSnapshot() bool { return e.snapshot != nil }
+
+// NaNsSeen returns how many observed epochs carried a NaN metric.
+func (e *EarlyStopper) NaNsSeen() int { return e.nans }
+
 // RestoreBest loads the best snapshot back into p. It reports whether a
-// snapshot existed.
+// snapshot existed; callers that log should warn on false — silently
+// keeping the final-epoch parameters defeats the checkpoint protocol.
 func (e *EarlyStopper) RestoreBest(p *Params) bool {
 	if e.snapshot == nil {
 		return false

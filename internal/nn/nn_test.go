@@ -356,6 +356,104 @@ func TestEarlyStopperNoSnapshotRestore(t *testing.T) {
 	}
 }
 
+func TestEarlyStopperNaNMetric(t *testing.T) {
+	p := NewParams()
+	w := p.Add("w", tensor.FromSlice(1, 1, []float64{0}))
+	es := NewEarlyStopper(3)
+
+	// A NaN epoch must not snapshot, must not become "best", and must count
+	// against patience like any non-improving epoch.
+	w.Data[0] = 1
+	if es.Observe(0, math.NaN(), p) {
+		t.Fatal("patience 3: first NaN epoch must not stop")
+	}
+	if es.HasSnapshot() {
+		t.Fatal("NaN epoch took a snapshot")
+	}
+	if best, epoch := es.Best(); !math.IsInf(best, -1) || epoch != -1 {
+		t.Fatalf("Best after NaN = %v @ %d, want -Inf @ -1", best, epoch)
+	}
+	if es.NaNsSeen() != 1 {
+		t.Fatalf("NaNsSeen = %d", es.NaNsSeen())
+	}
+
+	// Recovery: a later finite metric snapshots normally.
+	w.Data[0] = 2
+	if es.Observe(1, 0.4, p) {
+		t.Fatal("finite improvement must not stop")
+	}
+	if !es.HasSnapshot() {
+		t.Fatal("finite epoch did not snapshot")
+	}
+	w.Data[0] = 3
+	es.Observe(2, math.NaN(), p)
+	if !es.RestoreBest(p) || w.Data[0] != 2 {
+		t.Fatalf("RestoreBest after NaN → w=%v, want the finite-epoch snapshot 2", w.Data[0])
+	}
+}
+
+func TestEarlyStopperAllNaNStopsOnPatience(t *testing.T) {
+	p := NewParams()
+	p.Add("w", tensor.FromSlice(1, 1, []float64{0}))
+	es := NewEarlyStopper(2)
+	stoppedAt := -1
+	for epoch := 0; epoch < 10; epoch++ {
+		if es.Observe(epoch, math.NaN(), p) {
+			stoppedAt = epoch
+			break
+		}
+	}
+	// bestEpoch is -1, so patience 2 runs out at epoch 1 (1 - (-1) >= 2).
+	if stoppedAt != 1 {
+		t.Fatalf("all-NaN run stopped at epoch %d, want 1", stoppedAt)
+	}
+	if es.RestoreBest(p) {
+		t.Fatal("all-NaN run must have no snapshot to restore")
+	}
+}
+
+func TestMergeGradSetsFixedOrder(t *testing.T) {
+	// Build three partial GradSets over the same parameter and check the
+	// merge equals the part-order sum with freshly allocated storage.
+	mk := func(vals ...float64) *GradSet {
+		tape := autodiff.NewTape()
+		g := NewGradSet()
+		w := tensor.New(1, len(vals))
+		v := g.Track("w", tape.Param(w))
+		c := tape.Constant(tensor.FromSlice(1, len(vals), vals))
+		loss := tape.MatMul(tape.Mul(v, c), tape.Constant(tensor.FromSlice(len(vals), 1, []float64{1, 1})))
+		tape.Backward(loss)
+		return g
+	}
+	a, b, c := mk(1, 2), mk(10, 20), mk(100, 200)
+	merged := MergeGradSets([]*GradSet{a, nil, b, c})
+	g := merged.Grad("w")
+	if g == nil || g.Data[0] != 111 || g.Data[1] != 222 {
+		t.Fatalf("merged grad = %v, want [111 222]", g)
+	}
+	// Inputs untouched.
+	if ga := a.Grad("w"); ga.Data[0] != 1 || ga.Data[1] != 2 {
+		t.Fatalf("merge mutated its input: %v", ga.Data)
+	}
+	// Merged storage is private: clipping it must not touch the parts.
+	merged.ClipByGlobalNorm(0.001)
+	if gb := b.Grad("w"); gb.Data[0] != 10 {
+		t.Fatal("clipping the merge scaled a part's gradient")
+	}
+}
+
+func TestGradSetNamesSorted(t *testing.T) {
+	tape := autodiff.NewTape()
+	g := NewGradSet()
+	for _, n := range []string{"z", "a", "m"} {
+		g.Track(n, tape.Param(tensor.New(1, 1)))
+	}
+	names := g.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Fatalf("Names() = %v, want sorted", names)
+	}
+}
+
 func TestParamsCopyFrom(t *testing.T) {
 	a := NewParams()
 	a.Add("x", tensor.FromSlice(1, 2, []float64{1, 2}))

@@ -1,0 +1,144 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]atomic.Int32, max(n, 1))
+			err := For(context.Background(), workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := For(context.Background(), 4, 100, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Drain semantics: after the failure no new work starts; with 4 workers
+	// at most a handful of in-flight items complete.
+	if ran.Load() == 100 {
+		t.Fatal("error did not stop the loop early")
+	}
+}
+
+func TestForSerialErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := For(context.Background(), 1, 10, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 3 {
+		t.Fatalf("err=%v ran=%d, want boom after 3", err, ran)
+	}
+}
+
+func TestForCancellationDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int32
+	err := For(ctx, 4, 100, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		finished.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Every started item drained to completion — For returns only after all
+	// workers park, never abandoning an in-flight fn.
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("started %d but finished %d", s, f)
+	}
+	if started.Load() == 100 {
+		t.Fatal("cancellation did not stop the loop early")
+	}
+}
+
+func TestForPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := For(ctx, 4, 10, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestBoundsProperties(t *testing.T) {
+	for _, tc := range []struct{ n, workers, maxChunk int }{
+		{0, 4, 16}, {1, 4, 16}, {5, 4, 16}, {100, 4, 16},
+		{100, 4, 3}, {16, 16, 1}, {7, 1, 0}, {10, 0, -1},
+	} {
+		bounds := Bounds(tc.n, tc.workers, tc.maxChunk)
+		at := 0
+		for _, b := range bounds {
+			if b[0] != at || b[1] <= b[0] {
+				t.Fatalf("Bounds(%v): bad chunk %v at %d", tc, b, at)
+			}
+			if tc.maxChunk >= 1 && b[1]-b[0] > tc.maxChunk {
+				t.Fatalf("Bounds(%v): chunk %v exceeds maxChunk", tc, b)
+			}
+			at = b[1]
+		}
+		if at != tc.n {
+			t.Fatalf("Bounds(%v): covered %d of %d", tc, at, tc.n)
+		}
+	}
+}
+
+func TestBoundsDeterministic(t *testing.T) {
+	a := Bounds(97, 8, 16)
+	b := Bounds(97, 8, 16)
+	if len(a) != len(b) {
+		t.Fatal("length differs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("bounds differ across calls")
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
