@@ -2,11 +2,16 @@
 
 GO ?= go
 
-.PHONY: check build test vet race cover fuzz bench bench-json experiments experiments-full corpora clean
+.PHONY: check build test vet lint-spans race cover fuzz bench bench-json experiments experiments-full corpora clean
 
 # The default pre-merge gate: compile, lint, unit tests, the race pass over
 # the concurrent serving path (chaos suite included), and the coverage floor.
-check: build vet test race cover
+check: build vet lint-spans test race cover
+
+# Span hygiene: every obs.StartSpan must have a matching End in the same
+# function — a leaked span never reaches the trace recorder.
+lint-spans:
+	$(GO) run ./cmd/lintspans
 
 build:
 	$(GO) build ./...
@@ -26,7 +31,7 @@ vet:
 # bounds, and running them alongside the (CPU-heavy) training race tests on
 # a small machine starves those timers into flakes.
 race:
-	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/...
+	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/... ./internal/obs/...
 
 # Total statement coverage at the time the production-hardening PR landed;
 # `make cover` fails if the tree ever drops below it.
@@ -53,14 +58,19 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 # Machine-readable performance baselines for regression tracking:
-#  - BENCH_infer.json — ns/op for PredictBatch at batch sizes 1/4/16
+#  - BENCH_infer.json — ns/op for PredictBatch at batch sizes 1/4/16, plus
+#    the observability overhead pair (bare engine vs metrics+drift+tracing
+#    at batch 16 with 1% sampling)
 #  - BENCH_train.json — ns/op for one training epoch at 1/4/16 workers
 #    (results are bit-identical at every count; only the time changes)
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkPredictBatch/' -benchtime=10x . \
+	$(GO) test -run '^$$' -bench 'BenchmarkPredictBatch/|BenchmarkObsOverhead/' -benchtime=10x . \
 		| awk 'BEGIN { printf "{" } \
 		       /^BenchmarkPredictBatch\// { \
 		           name=$$1; sub(/^BenchmarkPredictBatch\//, "", name); sub(/-[0-9]+$$/, "", name); \
+		           if (n++) printf ","; printf "\n  \"%s_ns_per_op\": %s", name, $$3 } \
+		       /^BenchmarkObsOverhead\// { \
+		           name=$$1; sub(/^BenchmarkObsOverhead\//, "", name); sub(/-[0-9]+$$/, "", name); \
 		           if (n++) printf ","; printf "\n  \"%s_ns_per_op\": %s", name, $$3 } \
 		       END { printf "\n}\n" }' \
 		| tee BENCH_infer.json

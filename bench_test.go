@@ -10,6 +10,7 @@
 package pythagoras_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -268,6 +269,46 @@ func BenchmarkPredictBatchInstrumented(b *testing.B) {
 			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "tables/sec")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of the deep-observability layer on
+// the batch-16 serving path: "obs_off" is the bare engine, "obs_on" adds
+// everything a production `serve` runs per request — metrics registry,
+// drift monitor, and a span tree offered to a 1%-sampling trace recorder.
+// The two ns/op figures land side by side in BENCH_infer.json via
+// `make bench-json`; budget is <5% overhead.
+func BenchmarkObsOverhead(b *testing.B) {
+	m, c := benchModel(b)
+	tables := make([]*table.Table, 16)
+	for i := range tables {
+		tables[i] = c.Tables[i%len(c.Tables)]
+	}
+
+	b.Run("obs_off", func(b *testing.B) {
+		eng := infer.New(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.PredictBatch(tables)
+		}
+	})
+
+	b.Run("obs_on", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		eng := infer.New(m, infer.WithMetrics(reg),
+			infer.WithDrift(obs.NewDriftMonitor(m.ComputeDriftBaseline(c.Tables[:4]))))
+		rec := obs.NewTraceRecorder(obs.TraceConfig{SampleRate: 0.01})
+		root := obs.WithRecorder(obs.WithRegistry(context.Background(), reg), rec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, span := obs.StartSpan(root, "predict-batch")
+			ctx, stage := obs.StartSpan(ctx, "infer")
+			if _, err := eng.PredictBatchCtx(ctx, tables); err != nil {
+				b.Fatal(err)
+			}
+			stage.End()
+			span.End()
+		}
+	})
 }
 
 // BenchmarkTrainEpoch measures one data-parallel training epoch at 1, 4 and

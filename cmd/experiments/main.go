@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/sematype/pythagoras/internal/experiments"
+	"github.com/sematype/pythagoras/internal/obs/logz"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	out := flag.String("out", "", "also write results to this file")
 	md := flag.String("markdown", "", "write a markdown report (EXPERIMENTS.md section) to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	logFormat := flag.String("log-format", "text", "progress log format: text or json")
 	trainWorkers := flag.Int("train-workers", 0, "worker goroutines per training run (0 = all CPUs; scores are identical at any count)")
 	flag.Parse()
 
@@ -43,6 +45,13 @@ func main() {
 	}
 	if !*quiet {
 		scale.Logf = log.Printf
+		switch *logFormat {
+		case "json":
+			scale.Logf = logz.New(os.Stderr, logz.Info).With("component", "experiments").Printf()
+		case "text":
+		default:
+			log.Fatalf("invalid -log-format %q (want text or json)", *logFormat)
+		}
 	}
 	scale.Pythagoras.TrainWorkers = *trainWorkers
 

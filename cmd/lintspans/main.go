@@ -1,0 +1,153 @@
+// Command lintspans is the repo's span-hygiene linter (`make lint-spans`):
+// every obs.StartSpan call must bind its span to a named variable, and that
+// variable must have a reachable .End() call (directly, deferred, or inside
+// a closure) within the same top-level function. A span that is never ended
+// leaks an unfinished trace — its request never reaches the recorder and
+// its latency histogram never records — so the linter fails the build
+// instead.
+//
+// Usage:
+//
+//	go run ./cmd/lintspans [dir]
+//
+// dir defaults to ".". The walk skips testdata, vendored trees and
+// generated corpora. Exit status 1 when any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	os.Exit(run(root, os.Stderr))
+}
+
+// run walks root, lints every non-vendored .go file, and reports
+// violations on stderr. Exit codes: 0 clean, 1 violations, 2 walk/parse
+// failure.
+func run(root string, stderr io.Writer) int {
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || name == "corpora" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		violations = append(violations, checkFile(fset, file)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "lintspans:", err)
+		return 2
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stderr, v)
+		}
+		fmt.Fprintf(stderr, "lintspans: %d span(s) started but never ended\n", len(violations))
+		return 1
+	}
+	return 0
+}
+
+// checkFile inspects each top-level function: every span bound from a
+// StartSpan call must see a matching <var>.End() somewhere in that
+// function's body (closures included — a deferred func(){span.End()}()
+// counts).
+func checkFile(fset *token.FileSet, file *ast.File) []string {
+	var violations []string
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		type started struct {
+			name string
+			pos  token.Pos
+		}
+		var spans []started
+		ended := map[string]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !isStartSpan(rhs) {
+						continue
+					}
+					// StartSpan returns (ctx, span): with one rhs the span is
+					// the last lhs; a 1:1 multi-assign pairs lhs[i].
+					lhs := n.Lhs[len(n.Lhs)-1]
+					if len(n.Rhs) == len(n.Lhs) {
+						lhs = n.Lhs[i]
+					}
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						spans = append(spans, started{"_", rhs.Pos()})
+						continue
+					}
+					spans = append(spans, started{id.Name, rhs.Pos()})
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" && len(n.Args) == 0 {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						ended[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+		for _, s := range spans {
+			if s.name == "_" {
+				violations = append(violations, fmt.Sprintf(
+					"%s: span from StartSpan discarded with _ (it can never be ended)", fset.Position(s.pos)))
+				continue
+			}
+			if !ended[s.name] {
+				violations = append(violations, fmt.Sprintf(
+					"%s: span %q started but %s.End() never called in %s", fset.Position(s.pos), s.name, s.name, fn.Name.Name))
+			}
+		}
+	}
+	return violations
+}
+
+// isStartSpan matches obs.StartSpan(...) and StartSpan(...) call
+// expressions.
+func isStartSpan(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "StartSpan"
+	case *ast.Ident:
+		return fun.Name == "StartSpan"
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, file)
+}
+
+func TestLinterAcceptsEndedSpans(t *testing.T) {
+	src := `package p
+func ok(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "a")
+	defer span.End()
+	_, inner := obs.StartSpan(ctx, "b")
+	inner.End()
+}
+func closureEnd(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "c")
+	defer func() { span.End() }()
+}
+`
+	if v := check(t, src); len(v) != 0 {
+		t.Fatalf("clean source flagged: %v", v)
+	}
+}
+
+func TestLinterFlagsLeakedSpan(t *testing.T) {
+	src := `package p
+func leak(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "a")
+	_ = span
+}
+`
+	v := check(t, src)
+	if len(v) != 1 || !strings.Contains(v[0], `"span"`) || !strings.Contains(v[0], "leak") {
+		t.Fatalf("leaked span not flagged correctly: %v", v)
+	}
+}
+
+func TestLinterFlagsDiscardedSpan(t *testing.T) {
+	src := `package p
+func discard(ctx context.Context) {
+	ctx, _ = obs.StartSpan(ctx, "a")
+}
+`
+	v := check(t, src)
+	if len(v) != 1 || !strings.Contains(v[0], "discarded") {
+		t.Fatalf("discarded span not flagged: %v", v)
+	}
+}
+
+func TestLinterSeparateFunctionsDoNotShareEnds(t *testing.T) {
+	src := `package p
+func a(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "a")
+	_ = span
+}
+func b(span *obs.Span) { span.End() }
+`
+	if v := check(t, src); len(v) != 1 {
+		t.Fatalf("End in another function must not satisfy the check: %v", v)
+	}
+}
+
+func TestRunWalksTree(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("clean.go", "package p\nfunc ok(ctx context.Context) {\n\t_, s := obs.StartSpan(ctx, \"a\")\n\ts.End()\n}\n")
+	write("notes.txt", "not go")
+	// Skipped directories must not be linted even when they contain leaks.
+	write("testdata/leak.go", "package p\nfunc leak(ctx context.Context) {\n\t_, s := obs.StartSpan(ctx, \"a\")\n\t_ = s\n}\n")
+
+	var out strings.Builder
+	if code := run(dir, &out); code != 0 {
+		t.Fatalf("clean tree exit = %d, output:\n%s", code, out.String())
+	}
+
+	write("leak.go", "package p\nfunc leak(ctx context.Context) {\n\t_, s := obs.StartSpan(ctx, \"a\")\n\t_ = s\n}\n")
+	out.Reset()
+	if code := run(dir, &out); code != 1 {
+		t.Fatalf("leaking tree exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "leak.go") || !strings.Contains(out.String(), "1 span(s)") {
+		t.Fatalf("violation report missing detail:\n%s", out.String())
+	}
+
+	write("broken.go", "package p\nfunc {")
+	out.Reset()
+	if code := run(dir, &out); code != 2 {
+		t.Fatalf("unparsable tree exit = %d, want 2", code)
+	}
+}

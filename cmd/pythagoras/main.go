@@ -34,6 +34,8 @@ import (
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/obs/logz"
+	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/server"
 	"github.com/sematype/pythagoras/internal/table"
 )
@@ -79,6 +81,21 @@ func buildEncoder(dim, layers int) *lm.Encoder {
 	})
 }
 
+// structuredLogger maps -log-format to a logz logger on stderr: "json"
+// returns one, "text" returns nil (keep the stdlib logger), anything else
+// is a flag error.
+func structuredLogger(format string) *logz.Logger {
+	switch format {
+	case "json":
+		return logz.New(os.Stderr, logz.Info)
+	case "text":
+		return nil
+	default:
+		log.Fatalf("invalid -log-format %q (want text or json)", format)
+		return nil
+	}
+}
+
 func loadCorpus(dir string) *data.Corpus {
 	tables, err := table.LoadDir(dir)
 	if err != nil {
@@ -98,11 +115,13 @@ func cmdTrain(args []string) {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "training worker goroutines (0 = all CPUs; results are identical at any count)")
 	metrics := fs.Bool("metrics", false, "stream a JSON metrics snapshot to stdout after every epoch")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 	if *dataDir == "" {
 		log.Fatal("train: -data is required")
 	}
+	slog := structuredLogger(*logFormat)
 
 	c := loadCorpus(*dataDir)
 	if err := c.Validate(); err != nil {
@@ -117,13 +136,19 @@ func cmdTrain(args []string) {
 	cfg.Seed = *seed
 	cfg.TrainWorkers = *workers
 	cfg.Logf = log.Printf
+	if slog != nil {
+		cfg.Logf = slog.With("component", "train").Printf()
+	}
 	if *metrics {
 		reg := obs.NewRegistry()
 		cfg.Metrics = reg
+		obs.RegisterRuntimeMetrics(reg)
+		par.RegisterMetrics(reg)
 		// Piggyback on the trainer's per-epoch progress line: every time one
 		// is emitted, follow it with a machine-readable snapshot on stdout.
+		inner := cfg.Logf
 		cfg.Logf = func(format string, args ...any) {
-			log.Printf(format, args...)
+			inner(format, args...)
 			if strings.HasPrefix(format, "pythagoras: epoch") {
 				if raw, err := json.Marshal(reg.Snapshot()); err == nil {
 					fmt.Println(string(raw))
@@ -145,6 +170,19 @@ func cmdTrain(args []string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("model saved to %s (%d parameters)\n", *modelPath, m.Params().Count())
+
+	// Write the drift baseline sidecar: the model's own prediction
+	// distribution over its training tables, the reference `serve` compares
+	// live traffic against (DESIGN.md §11).
+	trainTables := make([]*table.Table, len(train))
+	for i, idx := range train {
+		trainTables[i] = c.Tables[idx]
+	}
+	sidecar := core.DriftSidecarPath(*modelPath)
+	if err := core.SaveDriftBaseline(sidecar, m.ComputeDriftBaseline(trainTables)); err != nil {
+		log.Fatalf("write drift baseline: %v", err)
+	}
+	fmt.Printf("drift baseline saved to %s\n", sidecar)
 }
 
 func cmdEval(args []string) {
@@ -239,17 +277,40 @@ func cmdServe(args []string) {
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline, queue wait included (0 = unbounded; expiry → 504)")
 	maxInflight := fs.Int("max-inflight", 64, "max concurrently processed requests; as many again may queue, the rest are shed with 429 (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+	traceSample := fs.Float64("trace-sample", 0.01, "fraction of request traces kept (errored/slow traces are always kept)")
+	traceBuffer := fs.Int("trace-buffer", obs.DefaultTraceBuffer, "trace ring-buffer capacity served by /v1/traces")
+	traceSlow := fs.Duration("trace-slow", time.Second, "always keep traces at least this long (0 disables)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
+	slog := structuredLogger(*logFormat)
 
 	m, err := core.LoadFile(*modelPath, core.Config{Encoder: buildEncoder(*dim, *layers)})
 	if err != nil {
 		log.Fatal(err)
 	}
 	eng := infer.New(m, infer.WithWorkers(*workers), infer.WithMetrics(obs.NewRegistry()))
-	srv := server.NewWithEngine(eng, *minConf,
+	// The drift sidecar is optional — a model trained before baselines
+	// existed still serves, just without drift gauges.
+	sidecar := core.DriftSidecarPath(*modelPath)
+	if baseline, err := core.LoadDriftBaseline(sidecar); err == nil {
+		eng.EnableDrift(obs.NewDriftMonitor(baseline))
+		log.Printf("pythagoras: drift baseline loaded from %s (%d observations)", sidecar, baseline.Total())
+	} else if !errors.Is(err, os.ErrNotExist) {
+		log.Printf("pythagoras: drift baseline unusable, serving without drift telemetry: %v", err)
+	}
+	recorder := obs.NewTraceRecorder(obs.TraceConfig{
+		SampleRate: *traceSample, SlowThreshold: *traceSlow, Buffer: *traceBuffer,
+	})
+	opts := []server.Option{
 		server.WithLogger(log.Default()), server.WithDebug(*debug),
-		server.WithRequestTimeout(*requestTimeout), server.WithMaxInflight(*maxInflight))
+		server.WithRequestTimeout(*requestTimeout), server.WithMaxInflight(*maxInflight),
+		server.WithTraceRecorder(recorder),
+	}
+	if slog != nil {
+		opts = append(opts, server.WithLogz(slog.With("component", "server")))
+	}
+	srv := server.NewWithEngine(eng, *minConf, opts...)
 	log.Printf("pythagoras serving on %s (vocabulary: %d types, debug=%v, request-timeout=%s, max-inflight=%d)",
 		*addr, len(m.Types()), *debug, *requestTimeout, *maxInflight)
 

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+func TestCheckpointHeaderRoundTrip(t *testing.T) {
+	enc := tinyEncoder()
+	cfg := Config{Encoder: enc, GNNLayers: 1, HiddenDim: 32, Seed: 3}
+	m := newModel(cfg, []string{"player.age", "team.name"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, []byte(checkpointMagic)) {
+		t.Fatalf("checkpoint does not start with magic: %x", raw[:16])
+	}
+	if v := binary.BigEndian.Uint32(raw[len(checkpointMagic):]); v != CheckpointVersion {
+		t.Fatalf("header version = %d, want %d", v, CheckpointVersion)
+	}
+	got, err := Load(bytes.NewReader(raw), Config{Encoder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Types()) != 2 {
+		t.Fatalf("round trip lost types: %v", got.Types())
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	enc := tinyEncoder()
+	m := newModel(Config{Encoder: enc, GNNLayers: 1, HiddenDim: 32, Seed: 3},
+		[]string{"player.age"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint32(raw[len(checkpointMagic):], CheckpointVersion+7)
+	_, err := Load(bytes.NewReader(raw), Config{Encoder: enc})
+	var uv *UnsupportedVersionError
+	if !errors.As(err, &uv) {
+		t.Fatalf("future-version load: err = %v, want *UnsupportedVersionError", err)
+	}
+	if uv.Got != CheckpointVersion+7 || uv.Max != CheckpointVersion || uv.Artifact != "checkpoint" {
+		t.Fatalf("typed error fields = %+v", uv)
+	}
+	if !strings.Contains(uv.Error(), "newer than this binary") {
+		t.Fatalf("error text = %q", uv.Error())
+	}
+}
+
+func TestLoadRejectsBadMagicAndVersionZero(t *testing.T) {
+	enc := tinyEncoder()
+	m := newModel(Config{Encoder: enc, GNNLayers: 1, HiddenDim: 32, Seed: 3},
+		[]string{"player.age"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-versioning stream: the payload without its header.
+	if _, err := Load(bytes.NewReader(buf.Bytes()[len(checkpointMagic)+4:]), Config{Encoder: enc}); err == nil {
+		t.Fatal("headerless checkpoint accepted")
+	}
+	// Version 0 is a corrupt header, not a valid older format.
+	raw := append([]byte(nil), buf.Bytes()...)
+	binary.BigEndian.PutUint32(raw[len(checkpointMagic):], 0)
+	if _, err := Load(bytes.NewReader(raw), Config{Encoder: enc}); err == nil {
+		t.Fatal("version-0 checkpoint accepted")
+	}
+	// Truncated inside the header.
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:5]), Config{Encoder: enc}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestDriftBaselineSidecarRoundTrip(t *testing.T) {
+	enc := tinyEncoder()
+	m := newModel(Config{Encoder: enc, GNNLayers: 1, HiddenDim: 32, Seed: 3},
+		[]string{"player.age", "team.name", "game.attendance"})
+	tb := &table.Table{Name: "T", ID: "t1", Columns: []*table.Column{
+		{Header: "age", Kind: table.KindNumeric, NumValues: []float64{21, 34, 28}},
+		{Header: "team", Kind: table.KindText, TextValues: []string{"ATL", "BOS", "CHI"}},
+	}}
+	base := m.ComputeDriftBaseline([]*table.Table{tb})
+	if base.Total() != 2 {
+		t.Fatalf("baseline total = %d, want one count per column", base.Total())
+	}
+	if len(base.ConfBounds) != len(obs.ConfidenceBuckets) {
+		t.Fatalf("baseline bounds = %d, want the shared ConfidenceBuckets", len(base.ConfBounds))
+	}
+
+	path := filepath.Join(t.TempDir(), "model.ckpt.drift.json")
+	if err := SaveDriftBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDriftBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != base.Total() || len(got.ConfCounts) != len(base.ConfCounts) {
+		t.Fatalf("sidecar round trip diverged: %+v vs %+v", got, base)
+	}
+	if mon := obs.NewDriftMonitor(got); mon == nil {
+		t.Fatal("round-tripped baseline rejected by DriftMonitor")
+	}
+}
+
+func TestDriftBaselineSidecarVersioned(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.drift.json")
+	base := obs.DriftBaseline{TypeCounts: map[string]uint64{"a": 1}}
+	if err := SaveDriftBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	// Bump the sidecar's version in place: same typed rejection as the
+	// checkpoint.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(raw[len(checkpointMagic):], DriftBaselineVersion+1)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadDriftBaseline(path)
+	var uv *UnsupportedVersionError
+	if !errors.As(err, &uv) {
+		t.Fatalf("future-version sidecar: err = %v, want *UnsupportedVersionError", err)
+	}
+	if uv.Artifact != "drift baseline" {
+		t.Fatalf("artifact = %q", uv.Artifact)
+	}
+	if _, err := LoadDriftBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing sidecar load succeeded")
+	}
+}
+
+func TestDriftSidecarPath(t *testing.T) {
+	if got := DriftSidecarPath("/models/m.ckpt"); got != "/models/m.ckpt.drift.json" {
+		t.Fatalf("DriftSidecarPath = %q", got)
+	}
+}
+
+// TestDriftBaselineSaveErrors: unwritable paths surface as errors instead
+// of silent telemetry loss.
+func TestDriftBaselineSaveErrors(t *testing.T) {
+	err := SaveDriftBaseline(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"),
+		obs.DriftBaseline{TypeCounts: map[string]uint64{"a": 1}})
+	if err == nil {
+		t.Fatal("SaveDriftBaseline into a missing directory succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"testing"
 
@@ -48,9 +49,26 @@ func FuzzModelLoad(f *testing.F) {
 		bad[at] ^= 0x5a
 		f.Add(bad)
 	}
-	// Shape mismatch: metadata from one geometry, parameters from another.
+	// Wrong format version: a byte-identical valid checkpoint whose header
+	// declares a future version must be rejected with the typed error, not
+	// decoded on faith (see TestLoadRejectsFutureVersion for the errors.As
+	// assertion; here it only must not panic or half-load).
+	futureVersion := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(futureVersion[len(checkpointMagic):], CheckpointVersion+1)
+	f.Add(futureVersion)
+	// Version 0 (corrupt header) and a pre-versioning stream (no magic).
+	zeroVersion := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(zeroVersion[len(checkpointMagic):], 0)
+	f.Add(zeroVersion)
+	f.Add(valid[len(checkpointMagic)+4:])
+
+	// Shape mismatch: metadata from one geometry, parameters from another
+	// (behind a well-formed header, so the mismatch itself is reached).
 	mismatched := fuzzSaveBytes(f, Config{Encoder: enc, GNNLayers: 2, HiddenDim: 64, Seed: 5})
 	var metaBuf bytes.Buffer
+	if err := writeHeader(&metaBuf, CheckpointVersion); err != nil {
+		f.Fatal(err)
+	}
 	ge := gob.NewEncoder(&metaBuf)
 	if err := ge.Encode(savedMeta{Types: []string{"player.age", "player.height", "team.name"},
 		Hidden: enc.Dim(), HiddenDim: 48, GNNLayers: 2}); err != nil {

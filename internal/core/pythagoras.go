@@ -883,10 +883,14 @@ type savedMeta struct {
 	Temperature       float64
 }
 
-// Save writes the trained parameters and vocabulary to w. The frozen
-// encoder is not serialized — it is fully determined by its Config and is
+// Save writes the trained parameters and vocabulary to w, prefixed by the
+// versioned checkpoint header (see CheckpointVersion). The frozen encoder
+// is not serialized — it is fully determined by its Config and is
 // re-supplied at Load time.
 func (m *Model) Save(w io.Writer) error {
+	if err := writeHeader(w, CheckpointVersion); err != nil {
+		return fmt.Errorf("core: write checkpoint header: %w", err)
+	}
 	enc := gob.NewEncoder(w)
 	meta := savedMeta{
 		Types: m.types, Hidden: m.enc.Dim(), HiddenDim: m.cfg.HiddenDim,
@@ -974,8 +978,13 @@ func validateMeta(meta *savedMeta, encDim int) error {
 // Load reads a model saved by Save. cfg supplies the encoder (whose Dim
 // must match the saved hidden width) and runtime options. A truncated,
 // corrupted or shape-mismatched checkpoint returns an error — never a
-// panic, and never a silently half-loaded model (see FuzzModelLoad).
+// panic, and never a silently half-loaded model (see FuzzModelLoad). A
+// checkpoint written by a newer format version returns
+// *UnsupportedVersionError.
 func Load(r io.Reader, cfg Config) (*Model, error) {
+	if _, err := readHeader(r, "checkpoint", CheckpointVersion); err != nil {
+		return nil, err
+	}
 	dec := gob.NewDecoder(r)
 	var meta savedMeta
 	if err := dec.Decode(&meta); err != nil {

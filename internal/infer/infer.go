@@ -45,6 +45,7 @@ import (
 	"github.com/sematype/pythagoras/internal/data"
 	"github.com/sematype/pythagoras/internal/eval"
 	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/table"
 	"github.com/sematype/pythagoras/internal/tensor"
@@ -64,6 +65,9 @@ type Engine struct {
 	// chunk-size distributions and pool utilization (see metrics.go). Nil
 	// costs one branch per stage — the no-sink-attached fast path.
 	metrics *engineMetrics
+	// drift, when non-nil, accumulates the served prediction distribution
+	// against a training-time baseline (see WithDrift). Nil-safe throughout.
+	drift *obs.DriftMonitor
 	// faults, when non-nil, fires the chaos suite's injection points at
 	// each stage boundary (DESIGN.md §9). Nil — always, outside tests —
 	// costs one branch per stage.
@@ -109,7 +113,7 @@ func (e *Engine) Model() *core.Model { return e.model }
 // of, timing each — the output is bit-identical either way. It cannot be
 // cancelled; serving paths use PredictCtx.
 func (e *Engine) Predict(t *table.Table) []core.ColumnPrediction {
-	if e.metrics == nil && e.faults == nil {
+	if e.metrics == nil && e.faults == nil && e.drift == nil {
 		return e.model.PredictTable(t)
 	}
 	out, _ := e.PredictCtx(context.Background(), t)
@@ -147,6 +151,7 @@ func (e *Engine) PredictCtx(ctx context.Context, t *table.Table) ([]core.ColumnP
 		m.decode.Since(t0)
 		m.tables.Inc()
 	}
+	e.recordPredictions(out)
 	return out, nil
 }
 
@@ -303,6 +308,7 @@ func (e *Engine) PredictBatchCtx(ctx context.Context, ts []*table.Table) ([][]co
 		for i := clo; i < chi; i++ {
 			hi := lo + len(ps[i].Graph.TargetNodes())
 			out[i] = e.model.DecodePredictions(p, probs, targets, lo, hi, ts[i])
+			e.recordPredictions(out[i])
 			lo = hi
 		}
 		if m != nil {

@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"github.com/sematype/pythagoras/internal/core"
 	"github.com/sematype/pythagoras/internal/obs"
 )
 
@@ -22,6 +23,15 @@ var chunkBuckets = obs.ExpBuckets(1, 2, 13)
 //	infer.batch.tables            histogram of PredictBatch input sizes
 //	infer.workers.busy            gauge, currently running pool workers
 //	infer.batches / infer.tables  cumulative request counters
+//
+// Model-quality telemetry, one observation per served column prediction
+// (recordPredictions):
+//
+//	infer.confidence                    histogram over ConfidenceBuckets
+//	infer.predictions                   counter, total predictions served
+//	infer.predictions.low_confidence    counter, confidence < 0.3 — the
+//	                                    abstain-or-review band
+//	infer.predicted{type="..."}         labeled counter per predicted type
 type engineMetrics struct {
 	reg     *obs.Registry
 	prepare *obs.Histogram
@@ -33,10 +43,21 @@ type engineMetrics struct {
 	busy    *obs.Gauge
 	batches *obs.Counter
 	tables  *obs.Counter
+
+	confidence  *obs.Histogram
+	predictions *obs.Counter
+	lowConf     *obs.Counter
+	// byType maps every model vocabulary type to its pre-resolved labeled
+	// counter — the hot path pays one map read, never a registry lock.
+	byType map[string]*obs.Counter
 }
 
-func newEngineMetrics(reg *obs.Registry) *engineMetrics {
-	return &engineMetrics{
+// lowConfidenceThreshold marks a served prediction as needing review; it
+// mirrors the abstain band the paper's precision/coverage trade-off targets.
+const lowConfidenceThreshold = 0.3
+
+func newEngineMetrics(reg *obs.Registry, types []string) *engineMetrics {
+	m := &engineMetrics{
 		reg:     reg,
 		prepare: reg.Histogram("infer.stage.prepare.seconds", nil),
 		union:   reg.Histogram("infer.stage.union.seconds", nil),
@@ -47,7 +68,16 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		busy:    reg.Gauge("infer.workers.busy"),
 		batches: reg.Counter("infer.batches"),
 		tables:  reg.Counter("infer.tables"),
+
+		confidence:  reg.Histogram("infer.confidence", obs.ConfidenceBuckets),
+		predictions: reg.Counter("infer.predictions"),
+		lowConf:     reg.Counter("infer.predictions.low_confidence"),
+		byType:      make(map[string]*obs.Counter, len(types)),
 	}
+	for _, t := range types {
+		m.byType[t] = reg.Counter(obs.Labels("infer.predicted", "type", t))
+	}
+	return m
 }
 
 // WithMetrics wires the engine's per-stage instrumentation into reg (nil
@@ -66,9 +96,60 @@ func (e *Engine) EnableMetrics(reg *obs.Registry) {
 	if reg == nil || e.metrics != nil {
 		return
 	}
-	e.metrics = newEngineMetrics(reg)
+	e.metrics = newEngineMetrics(reg, e.model.Types())
 	if enc := e.model.Encoder(); enc != nil {
 		enc.RegisterMetrics(reg)
+	}
+}
+
+// WithDrift attaches a drift monitor built from a training-time baseline:
+// every served prediction feeds the monitor, whose distribution-distance
+// scores surface as drift.* gauges on the engine's registry once
+// EnableDrift (or this option plus WithMetrics) has run. A nil monitor
+// disables drift telemetry, the default.
+func WithDrift(m *obs.DriftMonitor) Option {
+	return func(e *Engine) { e.drift = m }
+}
+
+// EnableDrift attaches a drift monitor after construction and, when a
+// metrics registry is already attached, registers its gauges there.
+func (e *Engine) EnableDrift(m *obs.DriftMonitor) {
+	if m == nil {
+		return
+	}
+	e.drift = m
+	if e.metrics != nil {
+		m.Register(e.metrics.reg)
+	}
+}
+
+// Drift returns the engine's drift monitor (nil when drift telemetry is
+// off).
+func (e *Engine) Drift() *obs.DriftMonitor { return e.drift }
+
+// recordPredictions feeds one table's served predictions into the
+// model-quality telemetry: the confidence histogram, per-type labeled
+// counters, the low-confidence counter, and the drift monitor. Called once
+// per decoded table on the serving paths (never by Evaluate — offline
+// scoring must not pollute serving telemetry).
+func (e *Engine) recordPredictions(preds []core.ColumnPrediction) {
+	m := e.metrics
+	if m == nil && e.drift == nil {
+		return
+	}
+	for i := range preds {
+		p := &preds[i]
+		if m != nil {
+			m.predictions.Inc()
+			m.confidence.Observe(p.Confidence)
+			if p.Confidence < lowConfidenceThreshold {
+				m.lowConf.Inc()
+			}
+			if c, ok := m.byType[p.Type]; ok {
+				c.Inc()
+			}
+		}
+		e.drift.Observe(p.Type, p.Confidence)
 	}
 }
 

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -137,5 +138,96 @@ func TestMetricsConcurrentPredictBatch(t *testing.T) {
 	s := reg.Snapshot()
 	if got := s.Counters["infer.tables"]; got != callers*3*4 {
 		t.Fatalf("infer.tables = %d, want %d", got, callers*3*4)
+	}
+}
+
+// TestPredictionTelemetry: serving records the confidence histogram, total
+// and per-type labeled counters, and the low-confidence band.
+func TestPredictionTelemetry(t *testing.T) {
+	m, c := trainedModel(t)
+	reg := obs.NewRegistry()
+	eng := New(m, WithMetrics(reg))
+
+	preds := eng.PredictBatch(c.Tables[:4])
+	var want uint64
+	for _, ps := range preds {
+		want += uint64(len(ps))
+	}
+	if want == 0 {
+		t.Fatal("no predictions served")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["infer.predictions"]; got != want {
+		t.Fatalf("infer.predictions = %d, want %d", got, want)
+	}
+	if got := s.Histograms["infer.confidence"].Count; got != want {
+		t.Fatalf("infer.confidence count = %d, want %d", got, want)
+	}
+	var byType uint64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "infer.predicted{") {
+			byType += v
+		}
+	}
+	if byType != want {
+		t.Fatalf("per-type counters sum to %d, want %d", byType, want)
+	}
+	if low := s.Counters["infer.predictions.low_confidence"]; low > want {
+		t.Fatalf("low-confidence %d exceeds total %d", low, want)
+	}
+}
+
+// TestDriftGaugesMove is the acceptance check for drift telemetry: serving
+// traffic that matches the baseline keeps the scores near zero; serving a
+// shifted distribution drives them above the control.
+func TestDriftGaugesMove(t *testing.T) {
+	m, c := trainedModel(t)
+	baseline := m.ComputeDriftBaseline(c.Tables)
+	if baseline.Total() == 0 {
+		t.Fatal("empty baseline from training tables")
+	}
+
+	// Control: serve the very tables the baseline was computed from.
+	ctrlReg := obs.NewRegistry()
+	ctrl := New(m, WithMetrics(ctrlReg), WithDrift(obs.NewDriftMonitor(baseline)))
+	ctrl.Drift().Register(ctrlReg)
+	ctrl.PredictBatch(c.Tables)
+
+	// Shifted: tables whose columns are all the same synthetic shape, far
+	// from the corpus mix.
+	shiftReg := obs.NewRegistry()
+	shift := New(m, WithMetrics(shiftReg), WithDrift(obs.NewDriftMonitor(baseline)))
+	shift.Drift().Register(shiftReg)
+	odd := &table.Table{Name: "Odd", ID: "odd", Columns: []*table.Column{
+		{Header: "zz9", Kind: table.KindNumeric, NumValues: []float64{1e9, 2e9, 3e9}},
+		{Header: "qqq", Kind: table.KindNumeric, NumValues: []float64{-7e8, -8e8, -9e8}},
+	}}
+	for i := 0; i < 20; i++ {
+		shift.Predict(odd)
+	}
+
+	ctrlScore := ctrlReg.Snapshot().Gauges["drift.type.score"]
+	shiftScore := shiftReg.Snapshot().Gauges["drift.type.score"]
+	if shiftScore <= ctrlScore {
+		t.Fatalf("shifted type drift %v <= control %v", shiftScore, ctrlScore)
+	}
+	if obsv := shiftReg.Snapshot().Gauges["drift.observations"]; obsv != 40 {
+		t.Fatalf("drift.observations = %v, want 40", obsv)
+	}
+}
+
+// TestEnableDriftRegistersOnExistingRegistry: the post-construction path.
+func TestEnableDriftRegistersOnExistingRegistry(t *testing.T) {
+	m, c := trainedModel(t)
+	reg := obs.NewRegistry()
+	eng := New(m, WithMetrics(reg))
+	eng.EnableDrift(obs.NewDriftMonitor(m.ComputeDriftBaseline(c.Tables[:2])))
+	eng.Predict(c.Tables[0])
+	if _, ok := reg.Snapshot().Gauges["drift.type.score"]; !ok {
+		t.Fatal("EnableDrift did not register gauges")
+	}
+	eng.EnableDrift(nil) // must not clear an attached monitor
+	if eng.Drift() == nil {
+		t.Fatal("EnableDrift(nil) cleared the monitor")
 	}
 }

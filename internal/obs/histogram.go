@@ -124,36 +124,55 @@ type HistogramSnapshot struct {
 
 // Snapshot captures the histogram. Safe concurrently with Observe; an
 // in-flight observation may appear in a bucket slightly before the totals.
+// The reported quantiles are computed from the snapshot's own bucket counts
+// and clamped to the snapshot's own Min/Max — never to fresher extrema a
+// concurrent Observe may have pushed — so P50/P90/P99 always lie inside the
+// reported [Min, Max].
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
+	count := h.count.Load()
+	if count == 0 {
+		return HistogramSnapshot{}
+	}
+	min := math.Float64frombits(h.minBits.Load())
+	max := math.Float64frombits(h.maxBits.Load())
+	if min > max {
+		// Racing the very first Observe: count is visible but the extrema
+		// still hold their ±Inf initial values. Report empty, not ±Inf.
+		return HistogramSnapshot{}
+	}
 	s := HistogramSnapshot{
-		Count:    h.count.Load(),
+		Count:    count,
 		Sum:      math.Float64frombits(h.sumBits.Load()),
+		Min:      min,
+		Max:      max,
 		Overflow: h.buckets[len(h.bounds)].Load(),
 		Buckets:  make([]Bucket, 0, len(h.bounds)),
 	}
-	if s.Count == 0 {
-		return HistogramSnapshot{}
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
 	}
-	s.Min = math.Float64frombits(h.minBits.Load())
-	s.Max = math.Float64frombits(h.maxBits.Load())
 	for i, ub := range h.bounds {
-		if c := h.buckets[i].Load(); c > 0 {
-			s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: c})
+		if counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: counts[i]})
 		}
 	}
-	s.P50 = h.Quantile(0.50)
-	s.P90 = h.Quantile(0.90)
-	s.P99 = h.Quantile(0.99)
+	s.P50 = quantileFromCounts(h.bounds, counts, count, min, max, 0.50)
+	s.P90 = quantileFromCounts(h.bounds, counts, count, min, max, 0.90)
+	s.P99 = quantileFromCounts(h.bounds, counts, count, min, max, 0.99)
 	return s
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
 // inside the bucket holding the target rank, clamped to the observed
-// [min, max]. With zero observations it returns 0; ranks landing in the
-// overflow bucket return the observed maximum.
+// [min, max]. With zero observations it returns 0 explicitly — a percentile
+// over an empty histogram is meaningless, and interpolating into zero
+// observations must never leak the ±Inf min/max sentinels (or divide a rank
+// into nothing). Ranks landing in the overflow bucket return the observed
+// maximum.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -164,11 +183,29 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	min := math.Float64frombits(h.minBits.Load())
 	max := math.Float64frombits(h.maxBits.Load())
+	if min > max {
+		// count and min/max are separate atomics: a snapshot racing the very
+		// first Observe can see count > 0 with the extrema still at their
+		// ±Inf initial values. Treat it as the empty histogram it almost is.
+		return 0
+	}
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return quantileFromCounts(h.bounds, counts, total, min, max, q)
+}
+
+// quantileFromCounts interpolates the q-quantile over an already-loaded
+// bucket view — the shared core of Quantile and Snapshot, which must clamp
+// against the same Min/Max it reports rather than re-reading the live
+// (possibly fresher) extrema.
+func quantileFromCounts(bounds []float64, counts []uint64, total uint64, min, max float64, q float64) float64 {
 	rank := q * float64(total)
 	var cum float64
 	lower := 0.0
-	for i, ub := range h.bounds {
-		c := float64(h.buckets[i].Load())
+	for i, ub := range bounds {
+		c := float64(counts[i])
 		if c > 0 && cum+c >= rank {
 			frac := (rank - cum) / c
 			return clamp(lower+frac*(ub-lower), min, max)
@@ -181,4 +218,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 
 func clamp(v, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, v))
+}
+
+// dump returns the bucket upper bounds, the raw per-bucket counts (the +Inf
+// overflow bucket last, so len(counts) == len(bounds)+1) and the running
+// sum — the cumulative-bucket source for the Prometheus exposition, which
+// needs every bucket (zero ones included), unlike the sparse JSON snapshot.
+func (h *Histogram) dump() (bounds []float64, counts []uint64, sum float64) {
+	if h == nil {
+		return nil, nil, 0
+	}
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return h.bounds, counts, math.Float64frombits(h.sumBits.Load())
 }

@@ -117,3 +117,69 @@ func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
 		t.Fatalf("bucket sum %d + overflow %d != count %d", bucketed, s.Overflow, s.Count)
 	}
 }
+
+// TestHistogramQuantileTornFirstObserve is the regression test for the
+// empty-histogram race: count and the extrema are separate atomics, so a
+// reader racing the very first Observe can see count > 0 while min/max
+// still hold their ±Inf sentinels. Quantile must return 0 explicitly and
+// Snapshot must report empty — neither may leak ±Inf or interpolate into
+// zero bucket mass. The torn state is constructed directly (same package).
+func TestHistogramQuantileTornFirstObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	h.count.Add(1) // count visible, extrema and buckets not yet
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got != 0 {
+			t.Fatalf("torn Quantile(%v) = %v, want explicit 0", q, got)
+		}
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("torn Quantile(%v) leaked sentinel %v", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("torn snapshot leaked sentinels: %+v", s)
+	}
+}
+
+// TestHistogramSnapshotQuantilesInsideExtrema: the quantiles a snapshot
+// reports must lie inside the [Min, Max] the same snapshot reports, even
+// while observations land concurrently (the snapshot computes quantiles
+// from its own loaded view, never from fresher live extrema).
+func TestHistogramSnapshotQuantilesInsideExtrema(t *testing.T) {
+	h := NewHistogram(nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := 1e-6
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(v)
+				v *= 1.1
+				if v > 100 {
+					v = 1e-6
+				}
+			}
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		for _, p := range []float64{s.P50, s.P90, s.P99} {
+			if p < s.Min || p > s.Max {
+				close(stop)
+				wg.Wait()
+				t.Fatalf("snapshot quantile %v outside its own [%v, %v]", p, s.Min, s.Max)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

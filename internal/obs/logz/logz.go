@@ -1,0 +1,186 @@
+// Package logz is a minimal structured JSON logger for the serving and
+// training paths — stdlib only, one line per event, fields in a stable
+// order so log pipelines (and tests) can rely on byte layout.
+//
+// Each line is a flat JSON object: {"time":...,"level":...,"msg":...,
+// then bound fields in binding order, then per-call fields in call order}.
+// Loggers are immutable; With returns a child sharing the sink and carrying
+// extra bound fields (request_id, trace_id — the correlation keys that join
+// a log line to its captured trace and metrics).
+package logz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+// Severity levels, in increasing order.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel maps a name to a Level (case-insensitive; unknown → Info).
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug
+	case "warn", "warning":
+		return Warn
+	case "error":
+		return Error
+	default:
+		return Info
+	}
+}
+
+// field is one key/value pair; values are rendered with encoding/json.
+type field struct {
+	key string
+	val any
+}
+
+// Logger writes structured JSON lines to a sink. The zero value and nil are
+// inert (every method no-ops), so call sites can hold an optional logger
+// without branching. Writes are serialized by a mutex shared across all
+// children of the same root, so concurrent request handlers never interleave
+// bytes within a line.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	bound []field
+	now   func() time.Time // test seam; time.Now in production
+}
+
+// New builds a root logger writing to w at the given minimum level.
+func New(w io.Writer, min Level) *Logger {
+	if w == nil {
+		return nil
+	}
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+}
+
+// With returns a child logger carrying extra bound fields, given as
+// alternating key/value pairs (a trailing odd key is ignored). The child
+// shares the parent's sink and lock.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.bound = append(append([]field(nil), l.bound...), pairs(kv)...)
+	return &child
+}
+
+// Enabled reports whether the logger emits at the given level.
+func (l *Logger) Enabled(level Level) bool { return l != nil && level >= l.min }
+
+// Debugf logs at debug level. The message is a printf format; structured
+// fields come from With-bound context.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(Debug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(Info, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(Warn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(Error, format, args...) }
+
+// Log emits one event with per-call structured fields (alternating
+// key/value pairs after the message).
+func (l *Logger) Log(level Level, msg string, kv ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.emit(level, msg, pairs(kv))
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if !l.Enabled(level) {
+		return
+	}
+	l.emit(level, fmt.Sprintf(format, args...), nil)
+}
+
+// emit renders one JSON line with fields in stable order: time, level, msg,
+// bound fields, call fields. Keys are rendered in insertion order (not
+// map-sorted) so the correlation keys a logger was built with lead every
+// line it writes.
+func (l *Logger) emit(level Level, msg string, call []field) {
+	var b strings.Builder
+	b.WriteByte('{')
+	writeField(&b, "time", l.now().UTC().Format(time.RFC3339Nano))
+	b.WriteByte(',')
+	writeField(&b, "level", level.String())
+	b.WriteByte(',')
+	writeField(&b, "msg", msg)
+	for _, f := range l.bound {
+		b.WriteByte(',')
+		writeField(&b, f.key, f.val)
+	}
+	for _, f := range call {
+		b.WriteByte(',')
+		writeField(&b, f.key, f.val)
+	}
+	b.WriteString("}\n")
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func writeField(b *strings.Builder, key string, val any) {
+	kb, _ := json.Marshal(key)
+	b.Write(kb)
+	b.WriteByte(':')
+	vb, err := json.Marshal(val)
+	if err != nil {
+		vb, _ = json.Marshal(fmt.Sprint(val))
+	}
+	b.Write(vb)
+}
+
+func pairs(kv []any) []field {
+	fs := make([]field, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		fs = append(fs, field{key: fmt.Sprint(kv[i]), val: kv[i+1]})
+	}
+	return fs
+}
+
+// Printf adapts the logger to the printf-style signature used by the
+// serving and training paths' optional logger hooks — every line lands at
+// info level. Returns nil for a nil logger so callers can pass it straight
+// through.
+func (l *Logger) Printf() func(format string, args ...any) {
+	if l == nil {
+		return nil
+	}
+	return func(format string, args ...any) { l.Infof(format, args...) }
+}

@@ -1,0 +1,166 @@
+package logz
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedNow pins the clock so lines are byte-comparable.
+func fixedLogger(buf *bytes.Buffer, min Level) *Logger {
+	l := New(buf, min)
+	l.now = func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+	return l
+}
+
+func TestLogLineShape(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, Info)
+	l.Infof("model loaded: %d types", 78)
+	line := buf.String()
+	want := `{"time":"2026-08-06T12:00:00Z","level":"info","msg":"model loaded: 78 types"}` + "\n"
+	if line != want {
+		t.Fatalf("line = %q, want %q", line, want)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+}
+
+func TestWithBindsCorrelationKeys(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, Info)
+	req := l.With("request_id", "req-7", "trace_id", "00000000000000ab")
+	req.Log(Info, "served", "status", 200, "types", 3)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["request_id"] != "req-7" || obj["trace_id"] != "00000000000000ab" {
+		t.Fatalf("bound fields missing: %v", obj)
+	}
+	if obj["status"] != float64(200) || obj["types"] != float64(3) {
+		t.Fatalf("call fields missing: %v", obj)
+	}
+	// Bound fields precede call fields and follow the fixed header.
+	s := buf.String()
+	if !(strings.Index(s, `"request_id"`) < strings.Index(s, `"status"`)) {
+		t.Fatalf("field order unstable: %s", s)
+	}
+	// The parent logger is unchanged.
+	buf.Reset()
+	l.Infof("bare")
+	if strings.Contains(buf.String(), "request_id") {
+		t.Fatalf("With mutated its parent: %s", buf.String())
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, Warn)
+	l.Debugf("hidden")
+	l.Infof("hidden")
+	l.Warnf("shown")
+	l.Errorf("shown too")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("emitted %d lines at min=warn, want 2: %s", lines, buf.String())
+	}
+	if l.Enabled(Debug) || !l.Enabled(Error) {
+		t.Fatal("Enabled disagrees with emission")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": Debug, "INFO": Info, "Warn": Warn, "warning": Warn,
+		"error": Error, "": Info, "bogus": Info,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestNilLoggerInert(t *testing.T) {
+	var l *Logger
+	l.Infof("nope")
+	l.Errorf("nope")
+	l.Log(Error, "nope", "k", "v")
+	if l.With("k", "v") != nil {
+		t.Fatal("nil.With should stay nil")
+	}
+	if l.Enabled(Error) {
+		t.Fatal("nil logger enabled")
+	}
+	if l.Printf() != nil {
+		t.Fatal("nil.Printf should return nil")
+	}
+	if New(nil, Info) != nil {
+		t.Fatal("New(nil) should return a nil logger")
+	}
+}
+
+func TestConcurrentChildrenDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Info)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := l.With("worker", w)
+			for i := 0; i < 100; i++ {
+				child.Infof("event %d", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("interleaved or malformed line %q: %v", line, err)
+		}
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 800 {
+		t.Fatalf("lost lines: %d, want 800", got)
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, Info)
+	printf := l.Printf()
+	printf("epoch %d done", 3)
+	if !strings.Contains(buf.String(), `"msg":"epoch 3 done"`) {
+		t.Fatalf("adapter line = %s", buf.String())
+	}
+}
+
+// TestLevelStringUnknown: out-of-range levels render as their integer.
+func TestLevelStringUnknown(t *testing.T) {
+	if got := Level(42).String(); got != "level(42)" {
+		t.Fatalf("Level(42).String() = %q", got)
+	}
+}
+
+// TestWriteFieldMarshalFallback: values json.Marshal rejects (NaN) fall
+// back to their fmt.Sprint rendering as a JSON string.
+func TestWriteFieldMarshalFallback(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedLogger(&buf, Info)
+	l.Log(Info, "odd", "v", math.NaN())
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("fallback line not JSON: %v (%q)", err, buf.String())
+	}
+	if entry["v"] != "NaN" {
+		t.Fatalf("v = %v, want the Sprint fallback \"NaN\"", entry["v"])
+	}
+}

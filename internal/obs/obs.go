@@ -191,8 +191,12 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric. It is safe to call concurrently with
-// observations; see the package comment for the consistency model.
+// Snapshot captures every metric, walking each metric family in sorted name
+// order so the snapshot (and anything rendered from it — the /v1/metrics
+// JSON, the Prometheus exposition) is byte-stable across runs: map-iteration
+// order must never leak into output that gets diffed, scraped or
+// golden-tested. It is safe to call concurrently with observations; see the
+// package comment for the consistency model.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]uint64{},
@@ -204,19 +208,30 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters[name] = r.counters[name].Value()
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges[name] = r.gauges[name].Value()
 	}
-	for name, fn := range r.gaugeFuncs {
-		s.Gauges[name] = fn()
+	for _, name := range sortedKeys(r.gaugeFuncs) {
+		s.Gauges[name] = r.gaugeFuncs[name]()
 	}
-	for name, h := range r.hists {
-		s.Histograms[name] = h.Snapshot()
+	for _, name := range sortedKeys(r.hists) {
+		s.Histograms[name] = r.hists[name].Snapshot()
 	}
 	return s
+}
+
+// sortedKeys returns m's keys in ascending order — the deterministic
+// iteration order Snapshot and WritePrometheus share.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // published guards expvar.Publish, which panics on duplicate names; tests

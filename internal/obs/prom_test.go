@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry exercising every metric
+// kind, labels, and names needing sanitization.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("http./v1/predict.requests").Add(7)
+	r.Counter(Labels("infer.predicted", "type", "player.age")).Add(3)
+	r.Counter(Labels("infer.predicted", "type", "team.name")).Add(5)
+	r.Gauge("pool.utilization").Set(0.75)
+	r.GaugeFunc("runtime.fake", func() float64 { return 42 })
+	h := r.Histogram("infer.confidence", []float64{0.25, 0.5, 0.75, 1})
+	for _, v := range []float64{0.1, 0.6, 0.6, 0.9, 1.5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition diverged from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusByteStable(t *testing.T) {
+	r := goldenRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two expositions of a quiescent registry differ")
+	}
+	// The JSON snapshot is likewise byte-stable (satellite: sorted Snapshot).
+	j1, _ := json.Marshal(r.Snapshot())
+	j2, _ := json.Marshal(r.Snapshot())
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("two JSON snapshots of a quiescent registry differ")
+	}
+}
+
+// TestWritePrometheusShape parses the exposition line by line and checks
+// the structural invariants a scraper relies on: sorted unique families,
+// cumulative non-decreasing le buckets ending at +Inf, and _count equal to
+// the +Inf bucket.
+func TestWritePrometheusShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var families []string
+	type histState struct {
+		lastCum  uint64
+		infCum   uint64
+		count    uint64
+		sawInf   bool
+		sawCount bool
+	}
+	hists := map[string]*histState{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			families = append(families, parts[2])
+			if parts[3] == "histogram" {
+				hists[parts[2]] = &histState{}
+			}
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		for r := range name {
+			c := name[r]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9' && r > 0)
+			if !ok {
+				t.Fatalf("illegal metric name %q in line %q", name, line)
+			}
+		}
+		valStr := line[strings.LastIndexByte(line, ' ')+1:]
+		for fam, st := range hists {
+			switch {
+			case strings.HasPrefix(line, fam+"_bucket"):
+				cum, err := strconv.ParseUint(valStr, 10, 64)
+				if err != nil {
+					t.Fatalf("bucket value %q: %v", valStr, err)
+				}
+				if cum < st.lastCum {
+					t.Fatalf("non-cumulative buckets in %q: %d after %d", fam, cum, st.lastCum)
+				}
+				st.lastCum = cum
+				if strings.Contains(line, `le="+Inf"`) {
+					st.sawInf, st.infCum = true, cum
+				}
+			case strings.HasPrefix(line, fam+"_count"):
+				c, _ := strconv.ParseUint(valStr, 10, 64)
+				st.sawCount, st.count = true, c
+			}
+		}
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Fatalf("families not sorted: %v", families)
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i] == families[i-1] {
+			t.Fatalf("duplicate family %q", families[i])
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram family rendered")
+	}
+	for fam, st := range hists {
+		if !st.sawInf {
+			t.Fatalf("%q has no +Inf bucket", fam)
+		}
+		if !st.sawCount || st.count != st.infCum {
+			t.Fatalf("%q _count=%d != +Inf bucket %d", fam, st.count, st.infCum)
+		}
+	}
+}
+
+func TestLabelsCanonical(t *testing.T) {
+	a := Labels("infer.predicted", "type", "age", "source", "nfl")
+	b := Labels("infer.predicted", "source", "nfl", "type", "age")
+	if a != b {
+		t.Fatalf("label order leaked into key: %q vs %q", a, b)
+	}
+	if a != `infer.predicted{source="nfl",type="age"}` {
+		t.Fatalf("canonical key = %q", a)
+	}
+	if got := Labels("plain"); got != "plain" {
+		t.Fatalf("no-pair Labels = %q", got)
+	}
+	if got := Labels("x", "odd"); got != "x" {
+		t.Fatalf("odd-pair Labels = %q", got)
+	}
+	esc := Labels("m", "k", `a"b\c`)
+	base, body := splitLabels(esc)
+	if base != "m" || !strings.Contains(body, `\"`) {
+		t.Fatalf("escaping broken: %q → base %q body %q", esc, base, body)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"http./v1/predict.requests": "http__v1_predict_requests",
+		"span.predict-batch.infer":  "span_predict_batch_infer",
+		"runtime.goroutines":        "runtime_goroutines",
+		"9lives":                    "_9lives",
+		"":                          "_",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+// TestSnapshotJSONBackwardCompat pins the JSON wire shape of /v1/metrics:
+// the same top-level keys and histogram fields previous clients consumed.
+func TestSnapshotJSONBackwardCompat(t *testing.T) {
+	r := goldenRegistry()
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := top[key]; !ok {
+			t.Fatalf("snapshot JSON lost top-level key %q: %s", key, raw)
+		}
+	}
+	var hists map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(top["histograms"], &hists); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := hists["infer.confidence"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot: %s", top["histograms"])
+	}
+	for _, key := range []string{"count", "sum", "min", "max", "p50", "p90", "p99"} {
+		if _, ok := h[key]; !ok {
+			t.Fatalf("histogram snapshot lost field %q: %v", key, h)
+		}
+	}
+	var snapCount uint64
+	if err := json.Unmarshal(h["count"], &snapCount); err != nil || snapCount != 5 {
+		t.Fatalf("count = %s, want 5", h["count"])
+	}
+}

@@ -1,0 +1,66 @@
+// Runtime telemetry: Go runtime health exported as gauges, evaluated lazily
+// at snapshot/scrape time through GaugeFunc. runtime.ReadMemStats
+// stop-the-worlds, so reads are throttled — concurrent scrapes within the
+// refresh window share one cached MemStats instead of each paying the STW.
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsReader caches runtime.ReadMemStats for a refresh interval.
+type memStatsReader struct {
+	mu      sync.Mutex
+	stats   runtime.MemStats
+	last    time.Time
+	refresh time.Duration
+}
+
+func (m *memStatsReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.last) >= m.refresh {
+		runtime.ReadMemStats(&m.stats)
+		m.last = time.Now()
+	}
+	return m.stats
+}
+
+// RegisterRuntimeMetrics exports Go runtime health into the registry:
+//
+//	runtime.goroutines              current goroutine count
+//	runtime.heap.alloc.bytes        live heap bytes
+//	runtime.heap.objects            live heap objects
+//	runtime.gc.count                completed GC cycles
+//	runtime.gc.pause.total.seconds  cumulative stop-the-world pause time
+//	runtime.sys.bytes               total bytes obtained from the OS
+//
+// Values are read lazily at snapshot/scrape time; ReadMemStats is throttled
+// to at most once per second so a tight scrape loop cannot turn telemetry
+// into GC pressure. Nil-safe.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	ms := &memStatsReader{refresh: time.Second}
+	r.GaugeFunc("runtime.goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("runtime.heap.alloc.bytes", func() float64 {
+		return float64(ms.read().HeapAlloc)
+	})
+	r.GaugeFunc("runtime.heap.objects", func() float64 {
+		return float64(ms.read().HeapObjects)
+	})
+	r.GaugeFunc("runtime.gc.count", func() float64 {
+		return float64(ms.read().NumGC)
+	})
+	r.GaugeFunc("runtime.gc.pause.total.seconds", func() float64 {
+		return float64(ms.read().PauseTotalNs) / 1e9
+	})
+	r.GaugeFunc("runtime.sys.bytes", func() float64 {
+		return float64(ms.read().Sys)
+	})
+}

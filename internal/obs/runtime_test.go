@@ -1,0 +1,41 @@
+package obs
+
+import "testing"
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	snap := r.Snapshot()
+	for _, name := range []string{
+		"runtime.goroutines",
+		"runtime.heap.alloc.bytes",
+		"runtime.heap.objects",
+		"runtime.gc.count",
+		"runtime.gc.pause.total.seconds",
+		"runtime.sys.bytes",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Fatalf("gauge %q not registered", name)
+		}
+	}
+	if snap.Gauges["runtime.goroutines"] < 1 {
+		t.Fatalf("goroutines = %v, want ≥ 1", snap.Gauges["runtime.goroutines"])
+	}
+	if snap.Gauges["runtime.heap.alloc.bytes"] <= 0 {
+		t.Fatalf("heap alloc = %v, want > 0", snap.Gauges["runtime.heap.alloc.bytes"])
+	}
+	RegisterRuntimeMetrics(nil) // nil-safe
+}
+
+// TestMemStatsReaderThrottles pins the stop-the-world budget: repeated
+// reads inside the refresh window return the cached stats.
+func TestMemStatsReaderThrottles(t *testing.T) {
+	ms := &memStatsReader{refresh: 1e18} // effectively never refresh again
+	first := ms.read()
+	garbage := make([]byte, 1<<20)
+	_ = garbage
+	second := ms.read()
+	if first.HeapAlloc != second.HeapAlloc {
+		t.Fatalf("throttled reader refreshed: %d then %d", first.HeapAlloc, second.HeapAlloc)
+	}
+}

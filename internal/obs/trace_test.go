@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// traceCtx is the standard test harness: a context carrying a registry and
+// an always-sample recorder.
+func traceCtx(cfg TraceConfig) (context.Context, *TraceRecorder) {
+	rec := NewTraceRecorder(cfg)
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	return WithRecorder(ctx, rec), rec
+}
+
+func TestTraceCaptureTree(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 1})
+
+	rctx, root := StartSpan(ctx, "predict")
+	root.SetAttr("request_id", "req-1")
+	cctx, child := StartSpan(rctx, "infer")
+	_, grand := StartSpan(cctx, "forward")
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := rec.Traces(TraceFilter{})
+	if len(traces) != 1 {
+		t.Fatalf("captured %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Root != "predict" || tr.Reason != "sample" {
+		t.Fatalf("root=%q reason=%q, want predict/sample", tr.Root, tr.Reason)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(tr.Spans))
+	}
+	rs := tr.RootSpan()
+	if rs == nil || rs.Name != "predict" {
+		t.Fatalf("RootSpan = %+v, want the predict span", rs)
+	}
+	if rs.Attr("request_id") != "req-1" {
+		t.Fatalf("root attrs = %v, want request_id=req-1", rs.Attrs)
+	}
+	// Every span shares the trace ID; parentage chains child → root.
+	byID := map[string]SpanData{}
+	for _, sd := range tr.Spans {
+		if sd.TraceID != tr.TraceID {
+			t.Fatalf("span %q trace ID %q != trace %q", sd.Name, sd.TraceID, tr.TraceID)
+		}
+		byID[sd.SpanID] = sd
+	}
+	var inferSpan, forwardSpan SpanData
+	for _, sd := range tr.Spans {
+		switch sd.Name {
+		case "infer":
+			inferSpan = sd
+		case "forward":
+			forwardSpan = sd
+		}
+	}
+	if forwardSpan.ParentID != inferSpan.SpanID {
+		t.Fatalf("forward.parent = %q, want infer %q", forwardSpan.ParentID, inferSpan.SpanID)
+	}
+	if byID[inferSpan.ParentID].Name != "predict" {
+		t.Fatalf("infer's parent is %q, want predict", byID[inferSpan.ParentID].Name)
+	}
+	if forwardSpan.Path != "predict.infer.forward" {
+		t.Fatalf("forward path = %q", forwardSpan.Path)
+	}
+}
+
+func TestTraceErrorAlwaysKept(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 0}) // dice never keep
+	for i := 0; i < 5; i++ {
+		_, s := StartSpan(ctx, "predict")
+		s.End()
+	}
+	rctx, root := StartSpan(ctx, "predict")
+	_, child := StartSpan(rctx, "infer")
+	child.SetError()
+	child.End()
+	root.End()
+
+	traces := rec.Traces(TraceFilter{})
+	if len(traces) != 1 {
+		t.Fatalf("captured %d traces, want only the errored one", len(traces))
+	}
+	if !traces[0].Error || traces[0].Reason != "error" {
+		t.Fatalf("trace = error:%v reason:%q, want error/error", traces[0].Error, traces[0].Reason)
+	}
+	if rec.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", rec.Dropped())
+	}
+	if got := rec.Traces(TraceFilter{ErrorOnly: true}); len(got) != 1 {
+		t.Fatalf("ErrorOnly filter returned %d", len(got))
+	}
+}
+
+func TestTraceSlowAlwaysKept(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 0, SlowThreshold: time.Millisecond})
+	_, fast := StartSpan(ctx, "predict")
+	fast.End()
+	_, slow := StartSpan(ctx, "predict")
+	time.Sleep(3 * time.Millisecond)
+	slow.End()
+
+	traces := rec.Traces(TraceFilter{})
+	if len(traces) != 1 || traces[0].Reason != "slow" {
+		t.Fatalf("traces = %+v, want one slow capture", traces)
+	}
+	if got := rec.Traces(TraceFilter{MinDuration: 2 * time.Millisecond}); len(got) != 1 {
+		t.Fatalf("MinDuration filter returned %d traces", len(got))
+	}
+	if got := rec.Traces(TraceFilter{MinDuration: time.Minute}); len(got) != 0 {
+		t.Fatalf("MinDuration=1m returned %d traces, want 0", len(got))
+	}
+}
+
+func TestTraceSampleRateApproximate(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 0.2, Buffer: 4096})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, s := StartSpan(ctx, "predict")
+		s.End()
+	}
+	kept := int(rec.Captured())
+	if kept < n/10 || kept > n/2 {
+		t.Fatalf("kept %d of %d at rate 0.2 — sampler badly biased", kept, n)
+	}
+	if int(rec.Sampled())+int(rec.Dropped()) != n {
+		t.Fatalf("sampled %d + dropped %d != %d", rec.Sampled(), rec.Dropped(), n)
+	}
+}
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 1, Buffer: 3})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, s := StartSpan(ctx, "predict")
+		ids = append(ids, s.TraceID())
+		s.End()
+	}
+	traces := rec.Traces(TraceFilter{})
+	if len(traces) != 3 {
+		t.Fatalf("buffered %d traces, want ring size 3", len(traces))
+	}
+	// Newest first: traces 4, 3, 2.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if traces[i].TraceID != want {
+			t.Fatalf("traces[%d] = %s, want %s", i, traces[i].TraceID, want)
+		}
+	}
+	if got := rec.Traces(TraceFilter{Limit: 1}); len(got) != 1 || got[0].TraceID != ids[4] {
+		t.Fatalf("Limit=1 returned %+v, want newest only", got)
+	}
+}
+
+func TestTraceRouteFilter(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 1})
+	for _, name := range []string{"predict", "predict-batch", "predict"} {
+		_, s := StartSpan(ctx, name)
+		s.SetAttr("route", "/v1/"+name)
+		s.End()
+	}
+	if got := rec.Traces(TraceFilter{Route: "predict"}); len(got) != 2 {
+		t.Fatalf("Route=predict matched %d, want 2", len(got))
+	}
+	if got := rec.Traces(TraceFilter{Route: "/v1/predict-batch"}); len(got) != 1 {
+		t.Fatalf("Route=/v1/predict-batch matched %d, want 1", len(got))
+	}
+	if got := rec.Traces(TraceFilter{Route: "nope"}); len(got) != 0 {
+		t.Fatalf("Route=nope matched %d, want 0", len(got))
+	}
+}
+
+func TestSpanIDsWithoutRecorder(t *testing.T) {
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	_, s := StartSpan(ctx, "predict")
+	if s.TraceID() != "" || s.SpanID() != "" {
+		t.Fatalf("untraced span has IDs %q/%q, want empty", s.TraceID(), s.SpanID())
+	}
+	s.SetAttr("k", "v") // must be a no-op, not a leak
+	s.SetError()
+	if s.End() < 0 {
+		t.Fatal("End returned negative duration")
+	}
+}
+
+func TestTraceRecorderRegister(t *testing.T) {
+	ctx, rec := traceCtx(TraceConfig{SampleRate: 1})
+	reg := NewRegistry()
+	rec.Register(reg)
+	_, s := StartSpan(ctx, "predict")
+	s.End()
+	snap := reg.Snapshot()
+	if snap.Gauges["trace.captured"] != 1 || snap.Gauges["trace.buffered"] != 1 {
+		t.Fatalf("gauges = %v, want captured/buffered = 1", snap.Gauges)
+	}
+}
+
+func TestTraceIDsUniqueAndNonZero(t *testing.T) {
+	rec := NewTraceRecorder(TraceConfig{})
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := rec.nextID()
+		if id == 0 {
+			t.Fatal("minted zero ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %x after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var rec *TraceRecorder
+	rec.offer(Trace{})
+	if rec.Traces(TraceFilter{}) != nil || rec.Len() != 0 || rec.Captured() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	rec.Register(NewRegistry())
+}

@@ -1,0 +1,25 @@
+package par
+
+import (
+	"runtime"
+
+	"github.com/sematype/pythagoras/internal/obs"
+)
+
+// RegisterMetrics exports the process-wide pool state into reg, evaluated
+// lazily at snapshot/scrape time:
+//
+//	par.workers.busy         For bodies executing right now
+//	par.workers.utilization  busy / GOMAXPROCS, the fraction of the
+//	                         machine the pools are keeping occupied
+//
+// Nil-safe; re-registering replaces the callbacks (same values).
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("par.workers.busy", func() float64 { return float64(Busy()) })
+	reg.GaugeFunc("par.workers.utilization", func() float64 {
+		return float64(Busy()) / float64(runtime.GOMAXPROCS(0))
+	})
+}

@@ -38,7 +38,10 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			busyWorkers.Add(1)
+			err := fn(i)
+			busyWorkers.Add(-1)
+			if err != nil {
 				return err
 			}
 		}
@@ -71,7 +74,10 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				busyWorkers.Add(1)
+				err := fn(i)
+				busyWorkers.Add(-1)
+				if err != nil {
 					fail(err)
 					return
 				}
@@ -80,6 +86,18 @@ func For(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// busyWorkers counts goroutines (or the calling goroutine, on the serial
+// path) currently inside a For body, process-wide. One atomic add per item
+// on either side of fn — negligible against any fn that does real work, and
+// it gives the pool a live utilization signal (see RegisterMetrics).
+var busyWorkers atomic.Int64
+
+// Busy reports how many For workers are executing a loop body right now,
+// across every concurrent For in the process.
+func Busy() int {
+	return int(busyWorkers.Load())
 }
 
 // Bounds splits n items into contiguous [lo, hi) chunks — as even as

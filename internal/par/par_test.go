@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/sematype/pythagoras/internal/obs"
 )
 
 func TestForCoversAllIndices(t *testing.T) {
@@ -141,4 +143,44 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// TestBusyWorkerTracking: the process-wide busy counter rises inside For
+// bodies and drains to zero after, on both the serial and parallel paths.
+func TestBusyWorkerTracking(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var peak atomic.Int64
+		err := For(context.Background(), workers, 16, func(i int) error {
+			b := int64(Busy())
+			for {
+				p := peak.Load()
+				if b <= p || peak.CompareAndSwap(p, b) {
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak.Load() < 1 {
+			t.Fatalf("workers=%d: busy never observed ≥ 1", workers)
+		}
+		if Busy() != 0 {
+			t.Fatalf("workers=%d: busy = %d after drain, want 0", workers, Busy())
+		}
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	s := reg.Snapshot()
+	if _, ok := s.Gauges["par.workers.busy"]; !ok {
+		t.Fatal("par.workers.busy not registered")
+	}
+	if u, ok := s.Gauges["par.workers.utilization"]; !ok || u < 0 {
+		t.Fatalf("par.workers.utilization = %v, registered %v", u, ok)
+	}
+	RegisterMetrics(nil) // nil-safe
 }

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/obs/logz"
 )
 
 // respWriter wraps the ResponseWriter for the whole middleware chain: it
@@ -24,6 +26,9 @@ type respWriter struct {
 	status      int
 	bytes       int
 	wroteHeader bool
+	// traceID is set by the route middleware when the request opened a
+	// trace; the structured access log joins it to /v1/traces.
+	traceID string
 	// intercept buffers a plain-text error body (detected at WriteHeader
 	// time by status ≥ 400 with a missing or text/plain content type) until
 	// finish() rewrites it as JSON.
@@ -131,6 +136,14 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 				r.Method, r.URL.Path, rw.statusOrDefault(), rw.bytes,
 				time.Since(t0).Round(time.Microsecond), requestIDFrom(r.Context()))
 		}
+		if s.slog != nil {
+			s.slog.Log(logz.Info, "request",
+				"method", r.Method, "path", r.URL.Path,
+				"status", rw.statusOrDefault(), "bytes", rw.bytes,
+				"dur_ms", float64(time.Since(t0))/float64(time.Millisecond),
+				"request_id", requestIDFrom(r.Context()),
+				"trace_id", rw.traceID)
+		}
 	})
 }
 
@@ -154,6 +167,12 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 				s.logger.Printf("panic serving %s %s (req_id=%s): %v\n%s",
 					r.Method, r.URL.Path, requestIDFrom(r.Context()), rec, debug.Stack())
 			}
+			if s.slog != nil {
+				s.slog.Log(logz.Error, "panic",
+					"method", r.Method, "path", r.URL.Path,
+					"request_id", requestIDFrom(r.Context()),
+					"panic", fmt.Sprint(rec))
+			}
 			if rw, ok := w.(*respWriter); ok {
 				rw.abandonIntercept()
 				if !rw.wroteHeader {
@@ -168,11 +187,12 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 }
 
 // exemptFromLimits reports whether a path bypasses the deadline and
-// admission middleware: health checks, metrics scrapes and the debug
-// endpoints must stay reachable under overload and during drain — an
+// admission middleware: health checks, metrics scrapes, trace reads and the
+// debug endpoints must stay reachable under overload and during drain — an
 // operator diagnosing a saturated instance needs exactly those.
 func exemptFromLimits(path string) bool {
-	return path == "/v1/healthz" || path == "/v1/metrics" || strings.HasPrefix(path, "/debug/")
+	return path == "/v1/healthz" || path == "/v1/metrics" || path == "/v1/traces" ||
+		strings.HasPrefix(path, "/debug/")
 }
 
 // withDeadline attaches the per-request deadline (WithRequestTimeout) to
@@ -258,30 +278,65 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 	})
 }
 
-// route registers a handler with per-route metrics (DESIGN.md §8):
+// route registers a handler with per-route metrics (DESIGN.md §8) and the
+// request's root span (DESIGN.md §11):
 //
 //	http.<path>.requests         counter
 //	http.<path>.errors           counter of ≥400 responses
 //	http.<path>.latency.seconds  histogram
+//	span.<name>[.<stage>...]     span-path latency histograms
 //
 // The pattern's method prefix ("POST /v1/predict") is stripped for metric
-// names, so both methods of a path share one series.
+// names, so both methods of a path share one series. The root span is named
+// by the path minus its "/v1/" prefix ("predict", "predict-batch", ...) —
+// handler stage spans nest under it, keeping the established span.predict.*
+// metric names — and carries the route and request ID as attributes. When
+// the server has a trace recorder, the finished span tree is offered to it;
+// a ≥400 response or a handler panic marks the trace errored, which the
+// recorder always keeps.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	path := pattern
 	if i := strings.IndexByte(pattern, ' '); i >= 0 {
 		path = pattern[i+1:]
 	}
+	spanName := strings.TrimPrefix(path, "/v1/")
 	reqs := s.metrics.Counter("http." + path + ".requests")
 	errs := s.metrics.Counter("http." + path + ".errors")
 	lat := s.metrics.Histogram("http."+path+".latency.seconds", nil)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		reqs.Inc()
-		h(w, r)
-		lat.Since(t0)
-		if rw, ok := w.(*respWriter); ok && rw.statusOrDefault() >= 400 {
-			errs.Inc()
+		ctx := obs.WithRegistry(r.Context(), s.metrics)
+		if s.recorder != nil {
+			ctx = obs.WithRecorder(ctx, s.recorder)
 		}
+		ctx, span := obs.StartSpan(ctx, spanName)
+		span.SetAttr("route", path)
+		if id := requestIDFrom(ctx); id != "" {
+			span.SetAttr("request_id", id)
+		}
+		rw, isRW := w.(*respWriter)
+		if isRW {
+			rw.traceID = span.TraceID()
+		}
+		// A panic unwinds past the normal End below; the deferred check
+		// still seals the span (and its trace) as errored so the recorder
+		// keeps it — withRecover, further out, owns the 500.
+		finished := false
+		defer func() {
+			if !finished {
+				span.SetError()
+				span.End()
+			}
+		}()
+		h(w, r.WithContext(ctx))
+		finished = true
+		if isRW && rw.statusOrDefault() >= 400 {
+			errs.Inc()
+			span.SetError()
+		}
+		span.End()
+		lat.Since(t0)
 	})
 }
 

@@ -63,6 +63,8 @@ import (
 	"github.com/sematype/pythagoras/internal/faultinject"
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/obs/logz"
+	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/table"
 )
 
@@ -86,8 +88,14 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the middleware chain
 	metrics *obs.Registry
-	logger  *log.Logger // access-log + panic sink; nil silences both
-	debug   bool        // mounts /debug/pprof/* and /debug/vars
+	logger  *log.Logger  // legacy key=value access-log + panic sink; nil silences both
+	slog    *logz.Logger // structured JSON log (WithLogz); additive to logger
+	debug   bool         // mounts /debug/pprof/* and /debug/vars
+
+	// recorder samples per-request span trees into a ring buffer served at
+	// GET /v1/traces. A default recorder (1% sampling, errored and >1s
+	// traces always kept) is created unless WithTraceRecorder supplies one.
+	recorder *obs.TraceRecorder
 
 	// requestTimeout bounds end-to-end request processing, queue wait
 	// included (0 = unbounded). Expiry surfaces as a JSON 504.
@@ -119,9 +127,25 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) { s.metrics = reg }
 }
 
-// WithLogger enables the access log and panic reporting.
+// WithLogger enables the legacy key=value access log and panic reporting.
 func WithLogger(l *log.Logger) Option {
 	return func(s *Server) { s.logger = l }
+}
+
+// WithLogz enables structured JSON logging: one object per request with the
+// request ID and trace ID as first-class fields (joinable against
+// /v1/traces), plus panic and lifecycle events. Additive to WithLogger —
+// both sinks receive events when both are configured.
+func WithLogz(l *logz.Logger) Option {
+	return func(s *Server) { s.slog = l }
+}
+
+// WithTraceRecorder supplies the trace recorder behind GET /v1/traces
+// (sampling rate, slow threshold and ring size are the recorder's). Without
+// this option the server builds a default recorder: 1% sampling, with
+// errored traces and traces over one second always kept.
+func WithTraceRecorder(rec *obs.TraceRecorder) Option {
+	return func(s *Server) { s.recorder = rec }
 }
 
 // WithDebug mounts the pprof handlers under /debug/pprof/ and expvar under
@@ -189,6 +213,19 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 			s.maxQueue = s.maxInflight
 		}
 	}
+	if s.recorder == nil {
+		s.recorder = obs.NewTraceRecorder(obs.TraceConfig{
+			SampleRate:    0.01,
+			SlowThreshold: time.Second,
+		})
+	}
+	s.recorder.Register(s.metrics)
+	obs.RegisterRuntimeMetrics(s.metrics)
+	par.RegisterMetrics(s.metrics)
+	if d := eng.Drift(); d != nil {
+		d.Register(s.metrics)
+	}
+
 	s.shed = s.metrics.Counter("http.shed")
 	s.timeouts = s.metrics.Counter("http.timeouts")
 	s.metrics.GaugeFunc("http.inflight", func() float64 { return float64(s.inflight.Load()) })
@@ -209,6 +246,7 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 	s.route("GET /v1/types", s.handleTypes)
 	s.route("GET /v1/healthz", s.handleHealthz)
 	s.route("GET /v1/metrics", s.handleMetrics)
+	s.route("GET /v1/traces", s.handleTraces)
 	if s.debug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -247,6 +285,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.logger.Printf("shutdown: drained, final metrics %s", raw)
 		}
 	}
+	s.slog.Log(logz.Info, "shutdown drained",
+		"traces_captured", s.recorder.Captured())
 	return nil
 }
 
@@ -264,6 +304,9 @@ func (s *Server) Index() *discovery.TypeIndex { return s.index }
 
 // Metrics exposes the server's metrics registry.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Recorder exposes the server's trace recorder.
+func (s *Server) Recorder() *obs.TraceRecorder { return s.recorder }
 
 // --- wire types ---
 
@@ -436,9 +479,10 @@ func decodeTableRequest(w http.ResponseWriter, r *http.Request) (*TableRequest, 
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	ctx, span := obs.StartSpan(obs.WithRegistry(r.Context(), s.metrics), "predict")
-	defer span.End()
-
+	// The route middleware already opened this request's root span
+	// ("predict") on the context; the stage spans below nest under it, so
+	// the recorded histogram paths are span.predict.parse / .infer.
+	ctx := r.Context()
 	_, parse := obs.StartSpan(ctx, "parse")
 	tr, ok := decodeTableRequest(w, r)
 	if !ok {
@@ -462,9 +506,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	ctx, span := obs.StartSpan(obs.WithRegistry(r.Context(), s.metrics), "predict-batch")
-	defer span.End()
-
+	ctx := r.Context() // root span "predict-batch" opened by the route middleware
 	_, parse := obs.StartSpan(ctx, "parse")
 	var br BatchRequest
 	if !decodeJSONBody(w, r, maxBatchBodyBytes, &br) {
@@ -505,9 +547,57 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves a point-in-time JSON snapshot of the registry —
 // every counter, gauge (cache stats included), per-stage and per-route
 // histogram with quantile estimates. The shape matches what PublishExpvar
-// exposes under /debug/vars.
+// exposes under /debug/vars. With ?format=prom it renders the Prometheus
+// text exposition format instead (sorted families, cumulative buckets) for
+// scrape targets.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// TracesResponse is the body of GET /v1/traces.
+type TracesResponse struct {
+	Count  int         `json:"count"`
+	Traces []obs.Trace `json:"traces"`
+}
+
+// handleTraces serves the trace ring buffer, newest first. Query filters:
+//
+//	?min_ms=50   traces at least 50ms long
+//	?route=predict (or /v1/predict) traces of one route
+//	?error=1     errored traces only
+//	?limit=20    cap the result count
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var f obs.TraceFilter
+	q := r.URL.Query()
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, "invalid min_ms %q", v)
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("route"); v != "" {
+		f.Route = strings.TrimPrefix(v, "/v1/")
+	}
+	if v := q.Get("error"); v != "" {
+		f.ErrorOnly = v == "1" || strings.EqualFold(v, "true")
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "invalid limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	traces := s.recorder.Traces(f)
+	writeJSON(w, http.StatusOK, TracesResponse{Count: len(traces), Traces: traces})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
