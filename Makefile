@@ -2,16 +2,22 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint-spans race cover fuzz bench bench-json experiments experiments-full corpora clean
+.PHONY: check build test vet lint-spans lint-alloc race cover fuzz bench bench-json profile experiments experiments-full corpora clean
 
 # The default pre-merge gate: compile, lint, unit tests, the race pass over
 # the concurrent serving path (chaos suite included), and the coverage floor.
-check: build vet lint-spans test race cover
+check: build vet lint-spans lint-alloc test race cover
 
 # Span hygiene: every obs.StartSpan must have a matching End in the same
 # function — a leaked span never reaches the trace recorder.
 lint-spans:
 	$(GO) run ./cmd/lintspans
+
+# Hot-path allocation hygiene: internal/autodiff, internal/gnn and
+# internal/infer must use the Into/AddInto product kernels; the allocating
+# conveniences (tensor.MatMul & friends) fail the build there.
+lint-alloc:
+	$(GO) run ./cmd/lintalloc
 
 build:
 	$(GO) build ./...
@@ -61,7 +67,7 @@ bench:
 #  - BENCH_infer.json — ns/op for PredictBatch at batch sizes 1/4/16, plus
 #    the observability overhead pair (bare engine vs metrics+drift+tracing
 #    at batch 16 with 1% sampling)
-#  - BENCH_train.json — ns/op for one training epoch at 1/4/16 workers
+#  - BENCH_train.json — ns/op for one training epoch at 1/4/8/16 workers
 #    (results are bit-identical at every count; only the time changes)
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredictBatch/|BenchmarkObsOverhead/' -benchtime=10x . \
@@ -82,6 +88,14 @@ bench-json:
 		       END { printf "\n}\n" }' \
 		| tee BENCH_train.json
 
+# CPU profile of one training epoch (the substrate's hottest loop):
+# emits cpu.pprof + the train-epoch test binary for
+# `go tool pprof pythagoras.test cpu.pprof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkTrainEpoch/workers1' -benchtime=3x \
+		-cpuprofile cpu.pprof -o pythagoras.test .
+	@echo "wrote cpu.pprof — inspect with: $(GO) tool pprof pythagoras.test cpu.pprof"
+
 # Reproduce the paper's evaluation at reduced scale (minutes).
 experiments:
 	$(GO) run ./cmd/experiments -exp all -scale reduced -out paper_results.txt
@@ -95,4 +109,4 @@ corpora:
 	$(GO) run ./cmd/datagen -corpus both -out ./corpora
 
 clean:
-	rm -rf corpora pythagoras-model.bin
+	rm -rf corpora pythagoras-model.bin cpu.pprof pythagoras.test

@@ -311,8 +311,8 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
-// BenchmarkTrainEpoch measures one data-parallel training epoch at 1, 4 and
-// 16 workers over the same corpus and seed. The trained parameters are
+// BenchmarkTrainEpoch measures one data-parallel training epoch at 1, 4, 8
+// and 16 workers over the same corpus and seed. The trained parameters are
 // bit-identical at every worker count (see core's worker-count identity
 // test); this benchmark tracks the wall-clock side of that trade — epoch
 // time and epochs/sec versus parallelism — and feeds BENCH_train.json via
@@ -326,7 +326,7 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	for i := range train {
 		train[i] = i
 	}
-	for _, workers := range []int{1, 4, 16} {
+	for _, workers := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := core.DefaultConfig(enc)

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, file)
+}
+
+func TestLinterAcceptsIntoForms(t *testing.T) {
+	src := `package p
+func ok(out, a, b *tensor.Matrix) {
+	tensor.MatMulInto(out, a, b)
+	tensor.MatMulAddInto(out, a, b)
+	tensor.MatMulTransposeAInto(out, a, b)
+	tensor.MatMulTransposeAAddInto(out, a, b)
+	tensor.MatMulTransposeBInto(out, a, b)
+	tensor.MatMulTransposeBAddInto(out, a, b)
+}
+`
+	if v := check(t, src); len(v) != 0 {
+		t.Fatalf("Into forms flagged: %v", v)
+	}
+}
+
+func TestLinterFlagsAllocatingForms(t *testing.T) {
+	src := `package p
+func bad(a, b *tensor.Matrix) *tensor.Matrix {
+	x := tensor.MatMul(a, b)
+	y := tensor.MatMulTransposeA(a, b)
+	return tensor.MatMulTransposeB(x, y)
+}
+`
+	v := check(t, src)
+	if len(v) != 3 {
+		t.Fatalf("want 3 violations, got %v", v)
+	}
+	for _, want := range []string{"MatMul ", "MatMulTransposeA ", "MatMulTransposeB "} {
+		found := false
+		for _, line := range v {
+			if strings.Contains(line, "tensor."+strings.TrimSpace(want)+" ") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentions tensor.%s: %v", strings.TrimSpace(want), v)
+		}
+	}
+}
+
+func TestLinterIgnoresOtherReceivers(t *testing.T) {
+	// Only the tensor package's conveniences are forbidden; a method or a
+	// different package with the same name is fine.
+	src := `package p
+func ok(m mat.Helper) {
+	mat.MatMul(nil, nil)
+	m.MatMul(nil, nil)
+}
+`
+	if v := check(t, src); len(v) != 0 {
+		t.Fatalf("unrelated MatMul flagged: %v", v)
+	}
+}
+
+// TestRepoIsClean runs the linter over the actual repository — the same
+// invocation `make lint-alloc` performs.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := run(root, os.Stderr); code != 0 {
+		t.Fatalf("lintalloc over repo root exited %d", code)
+	}
+}

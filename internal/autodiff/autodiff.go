@@ -7,8 +7,16 @@
 // reached through recorded ops. The op set is exactly what Pythagoras and
 // its baselines need: dense affine layers, pointwise nonlinearities,
 // dropout, row gather/scatter (the message-passing primitives of the
-// heterogeneous GNN), pooling reductions, concatenation, and a fused
-// softmax-cross-entropy loss.
+// heterogeneous GNN, plus the fused EdgeMix form), pooling reductions,
+// concatenation, and a fused softmax-cross-entropy loss.
+//
+// Steady-state a tape allocates nothing: ops are opcode records in a
+// reusable slice (no closures), Vars come from a block slab, and every
+// intermediate value, gradient, and scratch matrix comes from a per-tape
+// arena that Reset recycles. The first step through a fresh tape pays the
+// allocations; every following step of the same shapes reuses them. A Tape
+// is not safe for concurrent use; build one per goroutine and Reset it
+// between steps.
 //
 // Typical usage:
 //
@@ -18,7 +26,8 @@
 //	h := tape.ReLU(tape.MatMul(x, w))
 //	loss := tape.SoftmaxCrossEntropy(h, labels, nil)
 //	tape.Backward(loss)
-//	// w.Grad now holds ∂loss/∂w
+//	// w.Grad now holds ∂loss/∂w — read it before the next Reset,
+//	// or copy it out: the buffer returns to the arena.
 package autodiff
 
 import (
@@ -31,6 +40,12 @@ import (
 
 // Var is a node in the computation graph: a value plus (after Backward) its
 // gradient with respect to the loss.
+//
+// Vars returned by tape methods live in the tape's slab and their matrices
+// in its arena: both are recycled by Reset, so neither the Var nor its
+// Value/Grad may be retained across a Reset — Clone what must outlive the
+// step. Matrices passed into Constant and Param stay caller-owned and are
+// never recycled.
 type Var struct {
 	Value *tensor.Matrix
 	Grad  *tensor.Matrix // nil until Backward reaches this Var
@@ -44,9 +59,48 @@ type Var struct {
 // Shape returns the (rows, cols) of the variable's value.
 func (v *Var) Shape() (int, int) { return v.Value.Rows, v.Value.Cols }
 
+// opKind enumerates the primitive operations a tape can record. Backward
+// dispatches on the kind with a switch — an indirect call through a closure
+// would cost an allocation per record and defeat the arena.
+type opKind uint8
+
+const (
+	opMatMul opKind = iota
+	opAdd
+	opAddRow
+	opScale
+	opMul
+	opReLU
+	opLeakyReLU
+	opTanh
+	opSigmoid
+	opDropout
+	opGatherRows
+	opScatterAddRows
+	opScaleRows
+	opMeanRows
+	opSumRows
+	opConcatCols
+	opConcatRows
+	opSoftmaxXEnt
+	opL2Penalty
+	opSoftmax
+	opEdgeMix
+)
+
+// opRecord is one recorded primitive. Fields are a union over the op set;
+// each kind documents its own usage in the Backward switch. The struct
+// holds only references — indices and weight slices stay caller-owned.
 type opRecord struct {
-	output   *Var
-	backward func()
+	kind opKind
+	out  *Var
+	a, b *Var
+	s    float64        // Scale factor, LeakyReLU slope, L2 λ, SoftmaxXEnt total weight
+	idx  []int          // gather/scatter indices, EdgeMix src, SoftmaxXEnt labels
+	idx2 []int          // EdgeMix dst
+	sc   []float64      // ScaleRows scales, SoftmaxXEnt weights, EdgeMix inv-degree
+	aux  *tensor.Matrix // Dropout mask, SoftmaxXEnt probs, EdgeMix h×W
+	vars []*Var         // Concat inputs
 }
 
 // Tape records operations for reverse-mode differentiation. A Tape is not
@@ -54,22 +108,88 @@ type opRecord struct {
 type Tape struct {
 	ops    []opRecord
 	nextID int
+
+	// arena: value/grad/scratch matrices handed out by alloc, keyed by
+	// element count. used tracks every live arena matrix; Reset moves them
+	// back to free. Caller-owned matrices (Constant/Param) never enter.
+	free map[int][]*tensor.Matrix
+	used []*tensor.Matrix
+
+	// Var slab: fixed-capacity blocks so Var pointers stay stable while the
+	// slab grows. Reset truncates each block for reuse.
+	blocks [][]Var
+	cur    int
 }
 
 // NewTape returns an empty tape.
-func NewTape() *Tape { return &Tape{} }
+func NewTape() *Tape {
+	return &Tape{free: make(map[int][]*tensor.Matrix)}
+}
 
-// Reset discards all recorded operations so the tape can be reused,
-// avoiding re-allocation in tight training loops.
+// Reset discards all recorded operations and recycles every arena matrix
+// and slab Var so the tape can be reused without re-allocating. All Vars
+// and arena-backed matrices from the previous step become invalid.
 func (t *Tape) Reset() {
 	t.ops = t.ops[:0]
 	t.nextID = 0
+	for i, m := range t.used {
+		t.free[len(m.Data)] = append(t.free[len(m.Data)], m)
+		t.used[i] = nil
+	}
+	t.used = t.used[:0]
+	for i := range t.blocks {
+		t.blocks[i] = t.blocks[i][:0]
+	}
+	t.cur = 0
 }
 
+// alloc hands out a rows×cols matrix from the arena, recycling a same-size
+// buffer when one is free. Contents are UNDEFINED — every element must be
+// written (the Into kernels and full-overwrite loops do). Use allocZero
+// when the op accumulates.
+func (t *Tape) alloc(rows, cols int) *tensor.Matrix {
+	n := rows * cols
+	if t.free == nil {
+		t.free = make(map[int][]*tensor.Matrix)
+	}
+	if list := t.free[n]; len(list) > 0 {
+		m := list[len(list)-1]
+		list[len(list)-1] = nil
+		t.free[n] = list[:len(list)-1]
+		m.Rows, m.Cols = rows, cols
+		t.used = append(t.used, m)
+		return m
+	}
+	m := &tensor.Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	t.used = append(t.used, m)
+	return m
+}
+
+// allocZero is alloc with the buffer zeroed.
+func (t *Tape) allocZero(rows, cols int) *tensor.Matrix {
+	m := t.alloc(rows, cols)
+	m.Zero()
+	return m
+}
+
+// varBlockSize is the Var slab block capacity. Blocks never grow in place,
+// so &block[i] stays valid as the slab extends.
+const varBlockSize = 256
+
 func (t *Tape) newVar(val *tensor.Matrix, needsGrad bool) *Var {
-	v := &Var{Value: val, tape: t, id: t.nextID, needsGrad: needsGrad}
-	t.nextID++
-	return v
+	for {
+		if t.cur == len(t.blocks) {
+			t.blocks = append(t.blocks, make([]Var, 0, varBlockSize))
+		}
+		blk := t.blocks[t.cur]
+		if len(blk) < cap(blk) {
+			blk = append(blk, Var{Value: val, tape: t, id: t.nextID, needsGrad: needsGrad})
+			t.blocks[t.cur] = blk
+			t.nextID++
+			return &blk[len(blk)-1]
+		}
+		t.cur++
+	}
 }
 
 // Constant wraps a matrix that requires no gradient (inputs, labels,
@@ -80,18 +200,17 @@ func (t *Tape) Constant(m *tensor.Matrix) *Var { return t.newVar(m, false) }
 // Grad field. The matrix is NOT copied: the caller owns the storage (this is
 // what lets an optimizer update parameters in place between steps).
 func (t *Tape) Param(m *tensor.Matrix) *Var {
-	v := t.newVar(m, true)
-	return v
+	return t.newVar(m, true)
 }
 
-func (t *Tape) record(out *Var, backward func()) {
-	t.ops = append(t.ops, opRecord{output: out, backward: backward})
+func (t *Tape) record(r opRecord) {
+	t.ops = append(t.ops, r)
 }
 
-// ensureGrad allocates v.Grad on demand.
-func ensureGrad(v *Var) *tensor.Matrix {
+// grad returns v.Grad, allocating a zeroed arena buffer on first touch.
+func (t *Tape) grad(v *Var) *tensor.Matrix {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Value.Rows, v.Value.Cols)
+		v.Grad = t.allocZero(v.Value.Rows, v.Value.Cols)
 	}
 	return v.Grad
 }
@@ -106,13 +225,256 @@ func (t *Tape) Backward(loss *Var) {
 	if loss.Value.Rows != 1 || loss.Value.Cols != 1 {
 		panic(fmt.Sprintf("autodiff: Backward needs scalar loss, got %v", loss.Value))
 	}
-	ensureGrad(loss).Data[0] = 1
+	t.grad(loss).Data[0] = 1
 	for i := len(t.ops) - 1; i >= 0; i-- {
-		op := t.ops[i]
-		if op.output.Grad == nil || !op.output.needsGrad {
+		r := &t.ops[i]
+		if r.out.Grad == nil || !r.out.needsGrad {
 			continue
 		}
-		op.backward()
+		t.backwardOp(r)
+	}
+}
+
+// backwardOp applies one record's vector-Jacobian product. Accumulation
+// targets come from t.grad (arena-zeroed on first touch); products fuse the
+// accumulate via the AddInto kernels so no temporaries are allocated.
+func (t *Tape) backwardOp(r *opRecord) {
+	g := r.out.Grad
+	switch r.kind {
+	case opMatMul:
+		if r.a.needsGrad {
+			tensor.MatMulTransposeBAddInto(t.grad(r.a), g, r.b.Value)
+		}
+		if r.b.needsGrad {
+			tensor.MatMulTransposeAAddInto(t.grad(r.b), r.a.Value, g)
+		}
+
+	case opAdd:
+		if r.a.needsGrad {
+			t.grad(r.a).AddInPlace(g)
+		}
+		if r.b.needsGrad {
+			t.grad(r.b).AddInPlace(g)
+		}
+
+	case opAddRow:
+		if r.a.needsGrad {
+			t.grad(r.a).AddInPlace(g)
+		}
+		if r.b.needsGrad {
+			gb := t.grad(r.b)
+			for i := 0; i < g.Rows; i++ {
+				row := g.Row(i)
+				for j, v := range row {
+					gb.Data[j] += v
+				}
+			}
+		}
+
+	case opScale:
+		t.grad(r.a).AddScaledInPlace(g, r.s)
+
+	case opMul:
+		if r.a.needsGrad {
+			ga := t.grad(r.a)
+			for i, v := range r.b.Value.Data {
+				ga.Data[i] += g.Data[i] * v
+			}
+		}
+		if r.b.needsGrad {
+			gb := t.grad(r.b)
+			for i, v := range r.a.Value.Data {
+				gb.Data[i] += g.Data[i] * v
+			}
+		}
+
+	case opReLU:
+		ga := t.grad(r.a)
+		for i, v := range r.a.Value.Data {
+			if v > 0 {
+				ga.Data[i] += g.Data[i]
+			}
+		}
+
+	case opLeakyReLU:
+		ga := t.grad(r.a)
+		for i, v := range r.a.Value.Data {
+			if v > 0 {
+				ga.Data[i] += g.Data[i]
+			} else {
+				ga.Data[i] += r.s * g.Data[i]
+			}
+		}
+
+	case opTanh:
+		ga := t.grad(r.a)
+		for i, y := range r.out.Value.Data {
+			ga.Data[i] += g.Data[i] * (1 - y*y)
+		}
+
+	case opSigmoid:
+		ga := t.grad(r.a)
+		for i, y := range r.out.Value.Data {
+			ga.Data[i] += g.Data[i] * y * (1 - y)
+		}
+
+	case opDropout:
+		ga := t.grad(r.a)
+		for i, m := range r.aux.Data {
+			ga.Data[i] += g.Data[i] * m
+		}
+
+	case opGatherRows:
+		tensor.ScatterAddRows(t.grad(r.a), g, r.idx)
+
+	case opScatterAddRows:
+		ga := t.grad(r.a)
+		for i, src := range r.idx {
+			drow := ga.Row(i)
+			srow := g.Row(src)
+			for j, v := range srow {
+				drow[j] += v
+			}
+		}
+
+	case opScaleRows:
+		ga := t.grad(r.a)
+		for i, sv := range r.sc {
+			drow := ga.Row(i)
+			srow := g.Row(i)
+			for j, v := range srow {
+				drow[j] += sv * v
+			}
+		}
+
+	case opMeanRows:
+		inv := 1 / float64(r.a.Value.Rows)
+		ga := t.grad(r.a)
+		for i := 0; i < r.a.Value.Rows; i++ {
+			row := ga.Row(i)
+			for j, gv := range g.Data {
+				row[j] += gv * inv
+			}
+		}
+
+	case opSumRows:
+		ga := t.grad(r.a)
+		for i := 0; i < r.a.Value.Rows; i++ {
+			row := ga.Row(i)
+			for j, gv := range g.Data {
+				row[j] += gv
+			}
+		}
+
+	case opConcatCols:
+		at := 0
+		for _, v := range r.vars {
+			w := v.Value.Cols
+			if v.needsGrad {
+				gv := t.grad(v)
+				for i := 0; i < v.Value.Rows; i++ {
+					src := g.Row(i)[at : at+w]
+					dst := gv.Row(i)
+					for j, gg := range src {
+						dst[j] += gg
+					}
+				}
+			}
+			at += w
+		}
+
+	case opConcatRows:
+		at := 0
+		for _, v := range r.vars {
+			n := v.Value.Rows
+			if v.needsGrad {
+				gv := t.grad(v)
+				for i := 0; i < n; i++ {
+					src := g.Row(at + i)
+					dst := gv.Row(i)
+					for j, gg := range src {
+						dst[j] += gg
+					}
+				}
+			}
+			at += n
+		}
+
+	case opSoftmaxXEnt:
+		gs := g.Data[0]
+		gl := t.grad(r.a)
+		probs, labels, weights, totalW := r.aux, r.idx, r.sc, r.s
+		for i, lab := range labels {
+			if lab < 0 {
+				continue
+			}
+			w := 1.0
+			if weights != nil {
+				w = weights[i]
+			}
+			prow := probs.Row(i)
+			grow := gl.Row(i)
+			scale := gs * w / totalW
+			for j, p := range prow {
+				grow[j] += scale * p
+			}
+			grow[lab] -= scale
+		}
+
+	case opL2Penalty:
+		t.grad(r.a).AddScaledInPlace(r.a.Value, r.s*g.Data[0])
+
+	case opSoftmax:
+		ga := t.grad(r.a)
+		for i := 0; i < r.out.Value.Rows; i++ {
+			y := r.out.Value.Row(i)
+			gy := g.Row(i)
+			var dot float64
+			for j := range y {
+				dot += y[j] * gy[j]
+			}
+			grow := ga.Row(i)
+			for j := range y {
+				grow[j] += y[j] * (gy[j] - dot)
+			}
+		}
+
+	case opEdgeMix:
+		// out = scaleRows(scatterAdd((h×w)[src] → dst), inv). Push the
+		// inv-scaled output gradient back through the scatter into ghw
+		// (per-node grouping — a deliberate re-association of the old
+		// per-edge op chain, see DESIGN.md §12), then one fused product
+		// per input: ∂h += ghw·wᵀ, ∂w += hᵀ·ghw.
+		h, w := r.a, r.b
+		ghw := t.allocZero(r.aux.Rows, r.aux.Cols)
+		if r.sc != nil {
+			for e, src := range r.idx {
+				dst := r.idx2[e]
+				sv := r.sc[dst]
+				grow := g.Row(dst)
+				hrow := ghw.Row(src)
+				for j, gv := range grow {
+					hrow[j] += sv * gv
+				}
+			}
+		} else {
+			for e, src := range r.idx {
+				grow := g.Row(r.idx2[e])
+				hrow := ghw.Row(src)
+				for j, gv := range grow {
+					hrow[j] += gv
+				}
+			}
+		}
+		if h.needsGrad {
+			tensor.MatMulTransposeBAddInto(t.grad(h), ghw, w.Value)
+		}
+		if w.needsGrad {
+			tensor.MatMulTransposeAAddInto(t.grad(w), h.Value, ghw)
+		}
+
+	default:
+		panic(fmt.Sprintf("autodiff: unknown op kind %d", r.kind))
 	}
 }
 
@@ -120,151 +482,115 @@ func (t *Tape) Backward(loss *Var) {
 
 // MatMul returns a·b.
 func (t *Tape) MatMul(a, b *Var) *Var {
-	outVal := tensor.MatMul(a.Value, b.Value)
+	outVal := t.alloc(a.Value.Rows, b.Value.Cols)
+	tensor.MatMulInto(outVal, a.Value, b.Value)
 	out := t.newVar(outVal, a.needsGrad || b.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			g := out.Grad
-			if a.needsGrad {
-				ensureGrad(a).AddInPlace(tensor.MatMulTransposeB(g, b.Value))
-			}
-			if b.needsGrad {
-				ensureGrad(b).AddInPlace(tensor.MatMulTransposeA(a.Value, g))
-			}
-		})
+		t.record(opRecord{kind: opMatMul, out: out, a: a, b: b})
 	}
 	return out
 }
 
 // Add returns a+b (same shape).
 func (t *Tape) Add(a, b *Var) *Var {
-	out := t.newVar(tensor.Add(a.Value, b.Value), a.needsGrad || b.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddInto(outVal, a.Value, b.Value)
+	out := t.newVar(outVal, a.needsGrad || b.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			if a.needsGrad {
-				ensureGrad(a).AddInPlace(out.Grad)
-			}
-			if b.needsGrad {
-				ensureGrad(b).AddInPlace(out.Grad)
-			}
-		})
+		t.record(opRecord{kind: opAdd, out: out, a: a, b: b})
 	}
 	return out
 }
 
 // AddRow broadcasts the 1×C row vector bias over every row of a.
 func (t *Tape) AddRow(a, bias *Var) *Var {
-	out := t.newVar(tensor.AddRowBroadcast(a.Value, bias.Value), a.needsGrad || bias.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.AddRowBroadcastInto(outVal, a.Value, bias.Value)
+	out := t.newVar(outVal, a.needsGrad || bias.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			if a.needsGrad {
-				ensureGrad(a).AddInPlace(out.Grad)
-			}
-			if bias.needsGrad {
-				ensureGrad(bias).AddInPlace(tensor.SumRows(out.Grad))
-			}
-		})
+		t.record(opRecord{kind: opAddRow, out: out, a: a, b: bias})
 	}
 	return out
 }
 
 // Scale returns s·a for scalar constant s.
 func (t *Tape) Scale(a *Var, s float64) *Var {
-	out := t.newVar(a.Value.Scale(s), a.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ScaleInto(outVal, a.Value, s)
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ensureGrad(a).AddScaledInPlace(out.Grad, s)
-		})
+		t.record(opRecord{kind: opScale, out: out, a: a, s: s})
 	}
 	return out
 }
 
 // Mul returns the elementwise product a⊙b.
 func (t *Tape) Mul(a, b *Var) *Var {
-	out := t.newVar(tensor.Mul(a.Value, b.Value), a.needsGrad || b.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.MulInto(outVal, a.Value, b.Value)
+	out := t.newVar(outVal, a.needsGrad || b.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			if a.needsGrad {
-				ensureGrad(a).AddInPlace(tensor.Mul(out.Grad, b.Value))
-			}
-			if b.needsGrad {
-				ensureGrad(b).AddInPlace(tensor.Mul(out.Grad, a.Value))
-			}
-		})
+		t.record(opRecord{kind: opMul, out: out, a: a, b: b})
 	}
 	return out
 }
 
 // ReLU applies max(0, x) elementwise.
 func (t *Tape) ReLU(a *Var) *Var {
-	out := t.newVar(a.Value.Apply(func(v float64) float64 {
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
 		if v > 0 {
-			return v
+			outVal.Data[i] = v
+		} else {
+			outVal.Data[i] = 0
 		}
-		return 0
-	}), a.needsGrad)
+	}
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i, v := range a.Value.Data {
-				if v > 0 {
-					ga.Data[i] += out.Grad.Data[i]
-				}
-			}
-		})
+		t.record(opRecord{kind: opReLU, out: out, a: a})
 	}
 	return out
 }
 
 // LeakyReLU applies x>0 ? x : slope·x elementwise.
 func (t *Tape) LeakyReLU(a *Var, slope float64) *Var {
-	out := t.newVar(a.Value.Apply(func(v float64) float64 {
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
 		if v > 0 {
-			return v
+			outVal.Data[i] = v
+		} else {
+			outVal.Data[i] = slope * v
 		}
-		return slope * v
-	}), a.needsGrad)
+	}
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i, v := range a.Value.Data {
-				if v > 0 {
-					ga.Data[i] += out.Grad.Data[i]
-				} else {
-					ga.Data[i] += slope * out.Grad.Data[i]
-				}
-			}
-		})
+		t.record(opRecord{kind: opLeakyReLU, out: out, a: a, s: slope})
 	}
 	return out
 }
 
 // Tanh applies tanh elementwise.
 func (t *Tape) Tanh(a *Var) *Var {
-	out := t.newVar(a.Value.Apply(math.Tanh), a.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		outVal.Data[i] = math.Tanh(v)
+	}
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i, y := range out.Value.Data {
-				ga.Data[i] += out.Grad.Data[i] * (1 - y*y)
-			}
-		})
+		t.record(opRecord{kind: opTanh, out: out, a: a})
 	}
 	return out
 }
 
 // Sigmoid applies 1/(1+e^-x) elementwise.
 func (t *Tape) Sigmoid(a *Var) *Var {
-	out := t.newVar(a.Value.Apply(func(v float64) float64 {
-		return 1 / (1 + math.Exp(-v))
-	}), a.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	for i, v := range a.Value.Data {
+		outVal.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i, y := range out.Value.Data {
-				ga.Data[i] += out.Grad.Data[i] * y * (1 - y)
-			}
-		})
+		t.record(opRecord{kind: opSigmoid, out: out, a: a})
 	}
 	return out
 }
@@ -278,37 +604,33 @@ func (t *Tape) Dropout(a *Var, p float64, rng *rand.Rand, training bool) *Var {
 	if p >= 1 {
 		panic("autodiff: dropout probability must be < 1")
 	}
-	mask := make([]float64, len(a.Value.Data))
+	mask := t.alloc(a.Value.Rows, a.Value.Cols)
+	val := t.alloc(a.Value.Rows, a.Value.Cols)
 	keep := 1 / (1 - p)
-	val := a.Value.Clone()
-	for i := range mask {
+	for i, v := range a.Value.Data {
 		if rng.Float64() < p {
-			mask[i] = 0
+			mask.Data[i] = 0
 			val.Data[i] = 0
 		} else {
-			mask[i] = keep
-			val.Data[i] *= keep
+			mask.Data[i] = keep
+			val.Data[i] = v * keep
 		}
 	}
 	out := t.newVar(val, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i, m := range mask {
-				ga.Data[i] += out.Grad.Data[i] * m
-			}
-		})
+		t.record(opRecord{kind: opDropout, out: out, a: a, aux: mask})
 	}
 	return out
 }
 
-// GatherRows selects rows of a by index: out.Row(i) = a.Row(idx[i]).
+// GatherRows selects rows of a by index: out.Row(i) = a.Row(idx[i]). idx is
+// retained by reference until the next Reset; callers must not mutate it.
 func (t *Tape) GatherRows(a *Var, idx []int) *Var {
-	out := t.newVar(tensor.GatherRows(a.Value, idx), a.needsGrad)
+	outVal := t.alloc(len(idx), a.Value.Cols)
+	tensor.GatherRowsInto(outVal, a.Value, idx)
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			tensor.ScatterAddRows(ensureGrad(a), out.Grad, idx)
-		})
+		t.record(opRecord{kind: opGatherRows, out: out, a: a, idx: idx})
 	}
 	return out
 }
@@ -317,121 +639,139 @@ func (t *Tape) GatherRows(a *Var, idx []int) *Var {
 // the sum of all a rows mapped to it. This is the message-aggregation
 // primitive of the GNN.
 func (t *Tape) ScatterAddRows(a *Var, idx []int, outRows int) *Var {
-	val := tensor.New(outRows, a.Value.Cols)
+	val := t.allocZero(outRows, a.Value.Cols)
 	tensor.ScatterAddRows(val, a.Value, idx)
 	out := t.newVar(val, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ensureGrad(a).AddInPlace(tensor.GatherRows(out.Grad, idx))
-		})
+		t.record(opRecord{kind: opScatterAddRows, out: out, a: a, idx: idx})
 	}
 	return out
 }
 
 // ScaleRows multiplies row i of a by s[i] (used for degree normalization).
 func (t *Tape) ScaleRows(a *Var, s []float64) *Var {
-	out := t.newVar(tensor.ScaleRows(a.Value, s), a.needsGrad)
+	outVal := t.alloc(a.Value.Rows, a.Value.Cols)
+	tensor.ScaleRowsInto(outVal, a.Value, s)
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ensureGrad(a).AddInPlace(tensor.ScaleRows(out.Grad, s))
-		})
+		t.record(opRecord{kind: opScaleRows, out: out, a: a, sc: s})
+	}
+	return out
+}
+
+// EdgeMix is the fused message-passing primitive of the heterogeneous GNN:
+// for one edge type it computes scaleRows(scatterAdd((h×w)[src[e]] into
+// dst[e]), inv) in a single pass — the h×w product runs once over nodes
+// instead of once per edge (gather commutes with the right-multiplication),
+// and no gathered-copy, message, or aggregate temporaries are materialized.
+// outRows is the node count of the output; inv may be nil for no
+// normalization. src, dst, and inv are retained by reference until Reset.
+// Forward values are bit-identical to the unfused
+// ScaleRows(ScatterAddRows(MatMul(GatherRows(h), w))) chain; gradient
+// accumulation is re-associated per node (see DESIGN.md §12).
+func (t *Tape) EdgeMix(h, w *Var, src, dst []int, outRows int, inv []float64) *Var {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("autodiff: EdgeMix %d src vs %d dst", len(src), len(dst)))
+	}
+	if inv != nil && len(inv) != outRows {
+		panic(fmt.Sprintf("autodiff: EdgeMix %d inv-degrees for %d rows", len(inv), outRows))
+	}
+	hw := t.alloc(h.Value.Rows, w.Value.Cols)
+	tensor.MatMulInto(hw, h.Value, w.Value)
+	val := t.allocZero(outRows, w.Value.Cols)
+	for e, s := range src {
+		drow := val.Row(dst[e])
+		srow := hw.Row(s)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+	if inv != nil {
+		tensor.ScaleRowsInto(val, val, inv)
+	}
+	out := t.newVar(val, h.needsGrad || w.needsGrad)
+	if out.needsGrad {
+		t.record(opRecord{kind: opEdgeMix, out: out, a: h, b: w, idx: src, idx2: dst, sc: inv, aux: hw})
 	}
 	return out
 }
 
 // MeanRows reduces a to its 1×C column-mean vector.
 func (t *Tape) MeanRows(a *Var) *Var {
-	out := t.newVar(tensor.MeanRows(a.Value), a.needsGrad)
+	outVal := t.alloc(1, a.Value.Cols)
+	tensor.MeanRowsInto(outVal, a.Value)
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			inv := 1 / float64(a.Value.Rows)
-			ga := ensureGrad(a)
-			for i := 0; i < a.Value.Rows; i++ {
-				row := ga.Row(i)
-				for j, g := range out.Grad.Data {
-					row[j] += g * inv
-				}
-			}
-		})
+		t.record(opRecord{kind: opMeanRows, out: out, a: a})
 	}
 	return out
 }
 
 // SumRows reduces a to its 1×C column-sum vector.
 func (t *Tape) SumRows(a *Var) *Var {
-	out := t.newVar(tensor.SumRows(a.Value), a.needsGrad)
+	outVal := t.alloc(1, a.Value.Cols)
+	tensor.SumRowsInto(outVal, a.Value)
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i := 0; i < a.Value.Rows; i++ {
-				row := ga.Row(i)
-				for j, g := range out.Grad.Data {
-					row[j] += g
-				}
-			}
-		})
+		t.record(opRecord{kind: opSumRows, out: out, a: a})
 	}
 	return out
 }
 
-// ConcatCols concatenates variables horizontally (shared row count).
+// ConcatCols concatenates variables horizontally (shared row count). The
+// vars slice is retained by reference until Reset.
 func (t *Tape) ConcatCols(vars ...*Var) *Var {
-	vals := make([]*tensor.Matrix, len(vars))
-	needs := false
-	for i, v := range vars {
-		vals[i] = v.Value
+	if len(vars) == 0 {
+		return t.newVar(t.alloc(0, 0), false)
+	}
+	rows, cols, needs := vars[0].Value.Rows, 0, false
+	for _, v := range vars {
+		if v.Value.Rows != rows {
+			panic(fmt.Sprintf("autodiff: ConcatCols row mismatch %d vs %d", v.Value.Rows, rows))
+		}
+		cols += v.Value.Cols
 		needs = needs || v.needsGrad
 	}
-	out := t.newVar(tensor.ConcatCols(vals...), needs)
+	outVal := t.alloc(rows, cols)
+	for i := 0; i < rows; i++ {
+		at := 0
+		orow := outVal.Row(i)
+		for _, v := range vars {
+			w := v.Value.Cols
+			copy(orow[at:at+w], v.Value.Row(i))
+			at += w
+		}
+	}
+	out := t.newVar(outVal, needs)
 	if out.needsGrad {
-		t.record(out, func() {
-			at := 0
-			for _, v := range vars {
-				w := v.Value.Cols
-				if v.needsGrad {
-					gv := ensureGrad(v)
-					for i := 0; i < v.Value.Rows; i++ {
-						src := out.Grad.Row(i)[at : at+w]
-						dst := gv.Row(i)
-						for j, g := range src {
-							dst[j] += g
-						}
-					}
-				}
-				at += w
-			}
-		})
+		t.record(opRecord{kind: opConcatCols, out: out, vars: vars})
 	}
 	return out
 }
 
-// ConcatRows stacks variables vertically (shared column count).
+// ConcatRows stacks variables vertically (shared column count). The vars
+// slice is retained by reference until Reset.
 func (t *Tape) ConcatRows(vars ...*Var) *Var {
-	vals := make([]*tensor.Matrix, len(vars))
-	needs := false
-	for i, v := range vars {
-		vals[i] = v.Value
+	if len(vars) == 0 {
+		return t.newVar(t.alloc(0, 0), false)
+	}
+	cols, rows, needs := vars[0].Value.Cols, 0, false
+	for _, v := range vars {
+		if v.Value.Cols != cols {
+			panic(fmt.Sprintf("autodiff: ConcatRows col mismatch %d vs %d", v.Value.Cols, cols))
+		}
+		rows += v.Value.Rows
 		needs = needs || v.needsGrad
 	}
-	out := t.newVar(tensor.ConcatRows(vals...), needs)
+	outVal := t.alloc(rows, cols)
+	at := 0
+	for _, v := range vars {
+		copy(outVal.Data[at:at+len(v.Value.Data)], v.Value.Data)
+		at += len(v.Value.Data)
+	}
+	out := t.newVar(outVal, needs)
 	if out.needsGrad {
-		t.record(out, func() {
-			at := 0
-			for _, v := range vars {
-				n := v.Value.Rows
-				if v.needsGrad {
-					gv := ensureGrad(v)
-					for i := 0; i < n; i++ {
-						src := out.Grad.Row(at + i)
-						dst := gv.Row(i)
-						for j, g := range src {
-							dst[j] += g
-						}
-					}
-				}
-				at += n
-			}
-		})
+		t.record(opRecord{kind: opConcatRows, out: out, vars: vars})
 	}
 	return out
 }
@@ -439,14 +779,15 @@ func (t *Tape) ConcatRows(vars ...*Var) *Var {
 // SoftmaxCrossEntropy computes mean cross-entropy between row-wise softmax
 // of logits and integer labels. Rows with label < 0 are ignored (masked).
 // weights, if non-nil, rescales each row's contribution (e.g. class
-// re-weighting); it must have len == logits.Rows.
+// re-weighting); it must have len == logits.Rows. labels and weights are
+// retained by reference until Reset.
 // Returns a 1×1 loss Var.
 func (t *Tape) SoftmaxCrossEntropy(logits *Var, labels []int, weights []float64) *Var {
 	n, c := logits.Value.Rows, logits.Value.Cols
 	if len(labels) != n {
 		panic(fmt.Sprintf("autodiff: %d labels for %d rows", len(labels), n))
 	}
-	probs := tensor.New(n, c)
+	probs := t.allocZero(n, c)
 	var loss float64
 	var totalW float64
 	for i := 0; i < n; i++ {
@@ -481,28 +822,11 @@ func (t *Tape) SoftmaxCrossEntropy(logits *Var, labels []int, weights []float64)
 		totalW = 1
 	}
 	loss /= totalW
-	out := t.newVar(tensor.FromSlice(1, 1, []float64{loss}), logits.needsGrad)
+	outVal := t.alloc(1, 1)
+	outVal.Data[0] = loss
+	out := t.newVar(outVal, logits.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			g := out.Grad.Data[0]
-			gl := ensureGrad(logits)
-			for i := 0; i < n; i++ {
-				if labels[i] < 0 {
-					continue
-				}
-				w := 1.0
-				if weights != nil {
-					w = weights[i]
-				}
-				prow := probs.Row(i)
-				grow := gl.Row(i)
-				scale := g * w / totalW
-				for j, p := range prow {
-					grow[j] += scale * p
-				}
-				grow[labels[i]] -= scale
-			}
-		})
+		t.record(opRecord{kind: opSoftmaxXEnt, out: out, a: logits, idx: labels, sc: weights, aux: probs, s: totalW})
 	}
 	return out
 }
@@ -514,11 +838,11 @@ func (t *Tape) L2Penalty(a *Var, lambda float64) *Var {
 	for _, v := range a.Value.Data {
 		s += v * v
 	}
-	out := t.newVar(tensor.FromSlice(1, 1, []float64{0.5 * lambda * s}), a.needsGrad)
+	outVal := t.alloc(1, 1)
+	outVal.Data[0] = 0.5 * lambda * s
+	out := t.newVar(outVal, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ensureGrad(a).AddScaledInPlace(a.Value, lambda*out.Grad.Data[0])
-		})
+		t.record(opRecord{kind: opL2Penalty, out: out, a: a, s: lambda})
 	}
 	return out
 }
@@ -527,7 +851,7 @@ func (t *Tape) L2Penalty(a *Var, lambda float64) *Var {
 // inference paths; gradients flow through it correctly as well).
 func (t *Tape) Softmax(a *Var) *Var {
 	n, c := a.Value.Rows, a.Value.Cols
-	val := tensor.New(n, c)
+	val := t.alloc(n, c)
 	for i := 0; i < n; i++ {
 		row := a.Value.Row(i)
 		orow := val.Row(i)
@@ -549,21 +873,7 @@ func (t *Tape) Softmax(a *Var) *Var {
 	}
 	out := t.newVar(val, a.needsGrad)
 	if out.needsGrad {
-		t.record(out, func() {
-			ga := ensureGrad(a)
-			for i := 0; i < n; i++ {
-				y := out.Value.Row(i)
-				gy := out.Grad.Row(i)
-				var dot float64
-				for j := range y {
-					dot += y[j] * gy[j]
-				}
-				grow := ga.Row(i)
-				for j := range y {
-					grow[j] += y[j] * (gy[j] - dot)
-				}
-			}
-		})
+		t.record(opRecord{kind: opSoftmax, out: out, a: a})
 	}
 	return out
 }

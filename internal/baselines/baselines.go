@@ -322,3 +322,13 @@ func sliceCols(m *tensor.Matrix, lo, hi int) *tensor.Matrix {
 
 // wholeGroup is the single-group structure for single-input models.
 func wholeGroup(dim int) []Group { return []Group{{Name: "all", Lo: 0, Hi: dim}} }
+
+// widenF32 copies a float32 encoder vector into fresh float64 storage —
+// the baselines' tape boundary (cf. core.Model.Encode).
+func widenF32(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}

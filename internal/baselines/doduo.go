@@ -94,7 +94,7 @@ func (d *DoduoFeaturizer) FeaturizeTable(t *table.Table) [][]float64 {
 		for r := lo; r < hi; r++ {
 			row := states.Row(r)
 			for j := range vec {
-				vec[j] += row[j]
+				vec[j] += float64(row[j])
 			}
 		}
 		inv := 1 / float64(hi-lo)

@@ -34,8 +34,7 @@ func (d *DosoloFeaturizer) Groups() []Group { return wholeGroup(d.Dim()) }
 func (d *DosoloFeaturizer) FeaturizeTable(t *table.Table) [][]float64 {
 	out := make([][]float64, len(t.Columns))
 	for i, c := range t.Columns {
-		emb := d.enc.Encode(table.SerializeColumn(c, table.SerializeOptions{}))
-		out[i] = append([]float64(nil), emb...)
+		out[i] = widenF32(d.enc.Encode(table.SerializeColumn(c, table.SerializeOptions{})))
 	}
 	return out
 }

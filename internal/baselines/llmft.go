@@ -47,8 +47,7 @@ func (f *LLMFeaturizer) FeaturizeTable(t *table.Table) [][]float64 {
 	out := make([][]float64, len(t.Columns))
 	for i, c := range t.Columns {
 		prompt := f.buildPrompt(t, c)
-		emb := f.enc.Encode(prompt)
-		out[i] = append([]float64(nil), emb...)
+		out[i] = widenF32(f.enc.Encode(prompt))
 	}
 	return out
 }

@@ -69,7 +69,7 @@ func (s *SherlockFeaturizer) featurizeColumn(c *table.Column) []float64 {
 	vec := make([]float64, 0, s.Dim())
 	vec = append(vec, colfeat.CharProfile(vals)...)
 	vec = append(vec, s.wordEmbedding(vals)...)
-	vec = append(vec, s.enc.Encode(table.SerializeColumn(c, table.SerializeOptions{}))...)
+	vec = append(vec, widenF32(s.enc.Encode(table.SerializeColumn(c, table.SerializeOptions{})))...)
 	vec = append(vec, globalStats(c, vals)...)
 	return vec
 }
@@ -83,7 +83,7 @@ func (s *SherlockFeaturizer) wordEmbedding(vals []string) []float64 {
 		for _, tok := range s.enc.Tokenize(v) {
 			emb := s.enc.TokenEmbedding(tok)
 			for i, x := range emb {
-				out[i] += x
+				out[i] += float64(x)
 			}
 			count++
 		}

@@ -18,7 +18,7 @@ func TestEncoderDiscriminatesDomainSpecificColumns(t *testing.T) {
 	c := tinyCorpus(60)
 	enc := tinyEncoder()
 	type item struct {
-		vec   []float64
+		vec   []float32
 		label string
 	}
 	var items []item
@@ -31,12 +31,12 @@ func TestEncoderDiscriminatesDomainSpecificColumns(t *testing.T) {
 			items = append(items, item{enc.Encode(txt), col.SemanticType})
 		}
 	}
-	cos := func(a, b []float64) float64 {
+	cos := func(a, b []float32) float64 {
 		var d, na, nb float64
 		for i := range a {
-			d += a[i] * b[i]
-			na += a[i] * a[i]
-			nb += b[i] * b[i]
+			d += float64(a[i]) * float64(b[i])
+			na += float64(a[i]) * float64(a[i])
+			nb += float64(b[i]) * float64(b[i])
 		}
 		return d / math.Sqrt(na*nb)
 	}

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/sematype/pythagoras/internal/autodiff"
@@ -125,6 +126,28 @@ type Model struct {
 	// temperature is the calibrated softmax temperature (0 = uncalibrated,
 	// treated as 1). See CalibrateTemperature.
 	temperature float64
+	// tapePool recycles inference tapes (and their op/arena/Var storage)
+	// across InferLogits/InferProbs calls: a gradient-free forward re-runs
+	// the same shapes over and over, so the second call on a pooled tape
+	// allocates nothing. Outputs are cloned out of the arena before the
+	// tape is returned (see inferTape/releaseTape).
+	tapePool sync.Pool
+}
+
+// inferTape takes a reusable tape from the pool (or builds a fresh one).
+func (m *Model) inferTape() *autodiff.Tape {
+	if t, ok := m.tapePool.Get().(*autodiff.Tape); ok {
+		return t
+	}
+	return autodiff.NewTape()
+}
+
+// releaseTape recycles the tape's storage and pools it. Every matrix the
+// forward produced becomes invalid — callers must have cloned anything they
+// return.
+func (m *Model) releaseTape(t *autodiff.Tape) {
+	t.Reset()
+	m.tapePool.Put(t)
 }
 
 // stateDim returns the width of initial node states: the LM CLS vector
@@ -225,7 +248,11 @@ func (m *Model) Encode(t *table.Table, g *graph.Graph) *Prepared {
 			continue
 		}
 		row := p.LMStates.Row(i)
-		copy(row, m.enc.Encode(g.Texts[i]))
+		// The float32→float64 tape boundary: frozen-encoder output widens
+		// exactly once, here, as it enters float64 training state.
+		for j, x := range m.enc.Encode(g.Texts[i]) {
+			row[j] = float64(x)
+		}
 		if !m.cfg.PlainLMStates {
 			var vals []string
 			if ci := g.Meta[i].ColIndex; ci >= 0 {
@@ -356,7 +383,7 @@ func (m *Model) fillRichBlocks(row []float64, vals []string) {
 		for _, tok := range m.enc.Tokenize(v) {
 			emb := m.enc.TokenEmbedding(tok)
 			for i, x := range emb {
-				meanBlock[i] += x
+				meanBlock[i] += float64(x)
 			}
 			count++
 		}
@@ -482,24 +509,31 @@ func (m *Model) forward(tape *autodiff.Tape, grads *nn.GradSet, p *Prepared, rng
 // InferLogits is stage 3 of the inference pipeline: one gradient-free
 // forward pass over a prepared (possibly unioned) batch. It returns the raw
 // logits (targets×classes) and the target node indices into p.Graph. Safe
-// for concurrent use — each call builds its own tape and the model
-// parameters are read-only.
+// for concurrent use — each call checks a private tape out of the model's
+// pool and the parameters are read-only. The returned matrix is freshly
+// allocated and owned by the caller (the tape's arena-backed intermediate
+// is cloned out before the tape is recycled).
 func (m *Model) InferLogits(p *Prepared) (*tensor.Matrix, []int) {
-	tape := autodiff.NewTape()
+	tape := m.inferTape()
 	logits, targets := m.forward(tape, nil, p, nil, false)
-	return logits.Value, targets
+	out := logits.Value.Clone()
+	m.releaseTape(tape)
+	return out, targets
 }
 
 // InferProbs runs InferLogits and converts the logits to calibrated
-// probabilities (temperature-scaled softmax).
+// probabilities (temperature-scaled softmax). The returned matrix is owned
+// by the caller.
 func (m *Model) InferProbs(p *Prepared) (*tensor.Matrix, []int) {
-	tape := autodiff.NewTape()
+	tape := m.inferTape()
 	logits, targets := m.forward(tape, nil, p, nil, false)
 	if t := m.Temperature(); t != 1 {
 		logits = tape.Scale(logits, 1/t)
 	}
 	probs := tape.Softmax(logits)
-	return probs.Value, targets
+	out := probs.Value.Clone()
+	m.releaseTape(tape)
+	return out, targets
 }
 
 // Train fits Pythagoras on the corpus using the given table index splits.
@@ -708,6 +742,12 @@ func (m *Model) trainStep(ctx context.Context, bp []*Prepared, opt nn.Optimizer,
 
 	grads := make([]*nn.GradSet, len(bp))
 	losses := make([]float64, len(bp))
+	// Each sub-batch checks a recycled tape out of the model pool; par.For
+	// hands every index to exactly one goroutine, so tapes[si] has a single
+	// writer. The tapes are NOT released inside the loop: the GradSets point
+	// at arena-backed gradient matrices, which must survive until
+	// MergeGradSets has copied them into fresh storage below.
+	tapes := make([]*autodiff.Tape, len(bp))
 	err := par.For(ctx, workers, len(bp), func(si int) error {
 		t0 := time.Now()
 		p := bp[si]
@@ -717,7 +757,8 @@ func (m *Model) trainStep(ctx context.Context, bp []*Prepared, opt nn.Optimizer,
 				labeled++
 			}
 		}
-		tape := autodiff.NewTape()
+		tape := m.inferTape()
+		tapes[si] = tape
 		gs := nn.NewGradSet()
 		rng := rand.New(rand.NewSource(subBatchSeed(cfg.Seed, step, si)))
 		logits, _ := m.forward(tape, gs, p, rng, true)
@@ -737,6 +778,11 @@ func (m *Model) trainStep(ctx context.Context, bp []*Prepared, opt nn.Optimizer,
 	}
 	t0 := time.Now()
 	merged := nn.MergeGradSets(grads)
+	for _, tp := range tapes {
+		if tp != nil {
+			m.releaseTape(tp)
+		}
+	}
 	merged.ClipByGlobalNorm(5)
 	opt.SetLR(nn.LinearDecay(cfg.LearningRate, step, totalSteps))
 	opt.Step(m.params, merged)

@@ -64,17 +64,11 @@ func (hc *HeteroConv) Apply(t *autodiff.Tape, grads *nn.GradSet, h *autodiff.Var
 			continue
 		}
 		w := nn.ParamVar(t, grads, fmt.Sprintf("%s.edge%d.w", hc.prefix, et), hc.EdgeW[et])
-		msgs := t.MatMul(t.GatherRows(h, el.Src), w)
-		agg := t.ScatterAddRows(msgs, el.Dst, g.NumNodes())
-		// Mean aggregation: normalize by in-degree per destination.
-		deg := g.InDegrees(et)
-		inv := make([]float64, len(deg))
-		for i, d := range deg {
-			if d > 0 {
-				inv[i] = 1 / float64(d)
-			}
-		}
-		out = t.Add(out, t.ScaleRows(agg, inv))
+		// Fused message passing: one h×W product over nodes (gather
+		// commutes with the right-multiplication), scatter-aggregated and
+		// mean-normalized (g.InvDegrees is cached per graph) in a single
+		// op — no gathered-copy, message, or aggregate temporaries.
+		out = t.Add(out, t.EdgeMix(h, w, el.Src, el.Dst, g.NumNodes(), g.InvDegrees(et)))
 	}
 
 	bias := nn.ParamVar(t, grads, hc.prefix+".b", hc.Bias)

@@ -14,6 +14,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/sematype/pythagoras/internal/features"
 	"github.com/sematype/pythagoras/internal/table"
@@ -107,6 +108,13 @@ type Graph struct {
 	// and -1 for column nodes whose type is absent from the vocabulary).
 	Labels []int
 	Meta   []NodeMeta
+
+	// invDeg lazily caches InvDegrees per edge type: every GNN layer of
+	// every step over the same graph reuses one slice instead of
+	// recomputing (and re-allocating) the normalization. Guarded by
+	// invOnce — safe under concurrent Apply calls sharing a graph.
+	invOnce [NumEdgeTypes]sync.Once
+	invDeg  [NumEdgeTypes][]float64
 }
 
 // NumNodes returns the node count.
@@ -319,4 +327,24 @@ func (g *Graph) InDegrees(et EdgeType) []int {
 		deg[d]++
 	}
 	return deg
+}
+
+// InvDegrees returns, per node, 1/in-degree for the given edge type (0 for
+// nodes with no incoming edges) — the mean-aggregation normalization the
+// GNN applies every layer. The slice is computed once per graph and cached;
+// callers must treat it as read-only. Safe for concurrent use.
+func (g *Graph) InvDegrees(et EdgeType) []float64 {
+	g.invOnce[et].Do(func() {
+		inv := make([]float64, g.NumNodes())
+		for _, d := range g.Edges[et].Dst {
+			inv[d]++
+		}
+		for i, d := range inv {
+			if d > 0 {
+				inv[i] = 1 / d
+			}
+		}
+		g.invDeg[et] = inv
+	})
+	return g.invDeg[et]
 }

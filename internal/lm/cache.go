@@ -13,7 +13,7 @@ const numShards = 16
 // cacheShard is one independently RW-locked slice of the key space.
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string][]float64
+	m  map[string][]float32
 }
 
 // vecCache is a sharded, size-bounded string→vector cache with hit/miss
@@ -38,7 +38,7 @@ func newVecCache(totalCap int) *vecCache {
 		c.shardCap = 1
 	}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string][]float64)
+		c.shards[i].m = make(map[string][]float32)
 	}
 	return c
 }
@@ -54,7 +54,7 @@ func shardFor(key string) uint {
 }
 
 // get returns the cached vector for key, counting the hit or miss.
-func (c *vecCache) get(key string) ([]float64, bool) {
+func (c *vecCache) get(key string) ([]float32, bool) {
 	s := &c.shards[shardFor(key)]
 	s.mu.RLock()
 	v, ok := s.m[key]
@@ -70,7 +70,7 @@ func (c *vecCache) get(key string) ([]float64, bool) {
 // put stores v under key and returns the canonical vector: if another
 // goroutine filled the key between get and put, the already-stored vector
 // wins, so all callers share one backing slice.
-func (c *vecCache) put(key string, v []float64) []float64 {
+func (c *vecCache) put(key string, v []float32) []float32 {
 	s := &c.shards[shardFor(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -79,7 +79,7 @@ func (c *vecCache) put(key string, v []float64) []float64 {
 	}
 	if len(s.m) >= c.shardCap {
 		c.evicted.Add(uint64(len(s.m)))
-		s.m = make(map[string][]float64)
+		s.m = make(map[string][]float32)
 	}
 	s.m[key] = v
 	return v

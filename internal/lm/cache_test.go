@@ -28,7 +28,7 @@ func TestCacheHitMissCounters(t *testing.T) {
 func TestCacheBoundResetsShards(t *testing.T) {
 	c := newVecCache(numShards) // one entry per shard
 	for i := 0; i < 10*numShards; i++ {
-		c.put(fmt.Sprintf("key-%d", i), []float64{float64(i)})
+		c.put(fmt.Sprintf("key-%d", i), []float32{float32(i)})
 	}
 	if n := c.len(); n > 2*numShards {
 		t.Fatalf("cache grew to %d entries despite bound of %d per shard", n, 1)
@@ -70,8 +70,8 @@ func TestCacheStatsResetAndEvictions(t *testing.T) {
 
 func TestCachePutReturnsCanonicalVector(t *testing.T) {
 	c := newVecCache(1 << 10)
-	first := c.put("k", []float64{1})
-	second := c.put("k", []float64{2})
+	first := c.put("k", []float32{1})
+	second := c.put("k", []float32{2})
 	if &first[0] != &second[0] {
 		t.Fatal("second put should return the already-stored vector")
 	}
@@ -86,9 +86,9 @@ func TestCachePutReturnsCanonicalVector(t *testing.T) {
 func TestEncoderConcurrentEncode(t *testing.T) {
 	e := NewEncoder(Config{Dim: 16, Layers: 1, Heads: 2, FFNDim: 32, MaxLen: 64, Buckets: 1 << 10, Seed: 1})
 	texts := []string{"goals", "assists per game", "team name", "salary usd", "height cm"}
-	want := make([][]float64, len(texts))
+	want := make([][]float32, len(texts))
 	for i, s := range texts {
-		want[i] = append([]float64(nil), e.Encode(s)...)
+		want[i] = append([]float32(nil), e.Encode(s)...)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {

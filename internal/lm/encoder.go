@@ -32,23 +32,32 @@ func PaperScaleConfig() Config {
 }
 
 type layerWeights struct {
-	wq, wk, wv, wo *tensor.Matrix // Dim×Dim
-	ffn1           *tensor.Matrix // Dim×FFNDim
-	ffn1b          *tensor.Matrix // 1×FFNDim
-	ffn2           *tensor.Matrix // FFNDim×Dim
-	ffn2b          *tensor.Matrix // 1×Dim
+	wq, wk, wv, wo *tensor.F32 // Dim×Dim
+	ffn1           *tensor.F32 // Dim×FFNDim
+	ffn1b          *tensor.F32 // 1×FFNDim
+	ffn2           *tensor.F32 // FFNDim×Dim
+	ffn2b          *tensor.F32 // 1×Dim
 }
 
-// Encoder is the frozen pseudo-BERT. It is safe for concurrent use; the
-// embedding caches are sharded and RW-locked so parallel encoders (the
-// inference engine's prepare workers) don't serialize on a single mutex.
+// Encoder is the frozen pseudo-BERT. Because its weights are frozen —
+// never trained, never needing float64 gradient precision — all storage
+// and arithmetic are float32: half the cache footprint for the weights,
+// caches, and per-token states the encode stage streams through. float32
+// arithmetic is exactly as deterministic as float64 (same inputs → same
+// bits, on every run and every worker count); values widen to float64 only
+// when encoder output crosses into the float64 training tape (see
+// tensor.WidenInto and DESIGN.md §12).
+//
+// It is safe for concurrent use; the embedding caches are sharded and
+// RW-locked so parallel encoders (the inference engine's prepare workers)
+// don't serialize on a single mutex.
 type Encoder struct {
 	cfg    Config
 	tok    *Tokenizer
 	layers []layerWeights
-	pos    *tensor.Matrix // MaxLen×Dim sinusoidal positions
-	cls    []float64      // dedicated [CLS] embedding
-	sep    []float64      // dedicated [SEP] embedding
+	pos    *tensor.F32 // MaxLen×Dim sinusoidal positions
+	cls    []float32   // dedicated [CLS] embedding
+	sep    []float32   // dedicated [SEP] embedding
 
 	tokenVecs *vecCache // hashed token embedding cache
 	textVecs  *vecCache // full-text CLS cache
@@ -66,7 +75,9 @@ const (
 
 // NewEncoder builds the frozen encoder. All weights derive deterministically
 // from cfg.Seed, so two encoders with equal configs are functionally
-// identical ("the same pre-trained checkpoint").
+// identical ("the same pre-trained checkpoint"). Weights are drawn in
+// float64 (the rng stream is unchanged from the float64 encoder) and
+// rounded once to float32 storage.
 func NewEncoder(cfg Config) *Encoder {
 	if cfg.FFNDim == 0 {
 		cfg.FFNDim = 2 * cfg.Dim
@@ -81,11 +92,11 @@ func NewEncoder(cfg Config) *Encoder {
 		tokenVecs: newVecCache(tokenCacheCap),
 		textVecs:  newVecCache(textCacheCap),
 	}
-	scaled := func(rows, cols int) *tensor.Matrix {
-		m := tensor.New(rows, cols)
+	scaled := func(rows, cols int) *tensor.F32 {
+		m := tensor.NewF32(rows, cols)
 		std := 1 / math.Sqrt(float64(rows))
 		for i := range m.Data {
-			m.Data[i] = rng.NormFloat64() * std
+			m.Data[i] = float32(rng.NormFloat64() * std)
 		}
 		return m
 	}
@@ -93,8 +104,8 @@ func NewEncoder(cfg Config) *Encoder {
 		e.layers = append(e.layers, layerWeights{
 			wq: scaled(cfg.Dim, cfg.Dim), wk: scaled(cfg.Dim, cfg.Dim),
 			wv: scaled(cfg.Dim, cfg.Dim), wo: scaled(cfg.Dim, cfg.Dim),
-			ffn1: scaled(cfg.Dim, cfg.FFNDim), ffn1b: tensor.New(1, cfg.FFNDim),
-			ffn2: scaled(cfg.FFNDim, cfg.Dim), ffn2b: tensor.New(1, cfg.Dim),
+			ffn1: scaled(cfg.Dim, cfg.FFNDim), ffn1b: tensor.NewF32(1, cfg.FFNDim),
+			ffn2: scaled(cfg.FFNDim, cfg.Dim), ffn2b: tensor.NewF32(1, cfg.Dim),
 		})
 	}
 	e.pos = sinusoidalPositions(cfg.MaxLen, cfg.Dim)
@@ -109,7 +120,7 @@ func (e *Encoder) Config() Config { return e.cfg }
 // Dim returns the output embedding width.
 func (e *Encoder) Dim() int { return e.cfg.Dim }
 
-func randomUnit(rng *rand.Rand, dim int) []float64 {
+func randomUnit(rng *rand.Rand, dim int) []float32 {
 	v := make([]float64, dim)
 	var n float64
 	for i := range v {
@@ -117,21 +128,22 @@ func randomUnit(rng *rand.Rand, dim int) []float64 {
 		n += v[i] * v[i]
 	}
 	n = math.Sqrt(n)
+	out := make([]float32, dim)
 	for i := range v {
-		v[i] /= n
+		out[i] = float32(v[i] / n)
 	}
-	return v
+	return out
 }
 
-func sinusoidalPositions(maxLen, dim int) *tensor.Matrix {
-	p := tensor.New(maxLen, dim)
+func sinusoidalPositions(maxLen, dim int) *tensor.F32 {
+	p := tensor.NewF32(maxLen, dim)
 	for pos := 0; pos < maxLen; pos++ {
 		row := p.Row(pos)
 		for i := 0; i < dim; i += 2 {
 			freq := math.Pow(10000, -float64(i)/float64(dim))
-			row[i] = math.Sin(float64(pos) * freq)
+			row[i] = float32(math.Sin(float64(pos) * freq))
 			if i+1 < dim {
-				row[i+1] = math.Cos(float64(pos) * freq)
+				row[i+1] = float32(math.Cos(float64(pos) * freq))
 			}
 		}
 	}
@@ -157,6 +169,9 @@ func hashString(s string, salt uint64) uint64 {
 }
 
 // bucketVec deterministically generates the embedding for one hash bucket.
+// Accumulation happens in float64 — the n-gram sum in TokenEmbedding is the
+// one place catastrophic cancellation could bite float32, and it is cold
+// (cached); results are narrowed once at the cache boundary.
 func (e *Encoder) bucketVec(bucket uint64, out []float64, scale float64) {
 	state := splitmix64(bucket)
 	for i := range out {
@@ -173,7 +188,7 @@ func (e *Encoder) bucketVec(bucket uint64, out []float64, scale float64) {
 // TokenEmbedding returns the frozen embedding of one token: the sum of its
 // whole-token hash vector and its character 3–5-gram hash vectors
 // (fastText-style), L2-normalized. Results are cached.
-func (e *Encoder) TokenEmbedding(token string) []float64 {
+func (e *Encoder) TokenEmbedding(token string) []float32 {
 	switch token {
 	case TokenCLS:
 		return e.cls
@@ -209,26 +224,29 @@ func (e *Encoder) TokenEmbedding(token string) []float64 {
 	}
 	if norm > 0 {
 		norm = math.Sqrt(norm)
-		for i := range v {
-			v[i] /= norm
-		}
+	} else {
+		norm = 1
 	}
-	return e.tokenVecs.put(token, v)
+	vf := make([]float32, dim)
+	for i, x := range v {
+		vf[i] = float32(x / norm)
+	}
+	return e.tokenVecs.put(token, vf)
 }
 
 // EncodeTokens runs the frozen transformer over a token sequence (already
 // including [CLS]/[SEP] as desired) and returns the final hidden state of
-// every token as a len(tokens)×Dim matrix. Sequences longer than MaxLen are
-// truncated — the same hard limit the paper discusses for Doduo.
-func (e *Encoder) EncodeTokens(tokens []string) *tensor.Matrix {
+// every token as a len(tokens)×Dim float32 matrix. Sequences longer than
+// MaxLen are truncated — the same hard limit the paper discusses for Doduo.
+func (e *Encoder) EncodeTokens(tokens []string) *tensor.F32 {
 	if len(tokens) > e.cfg.MaxLen {
 		tokens = tokens[:e.cfg.MaxLen]
 	}
 	n := len(tokens)
 	if n == 0 {
-		return tensor.New(0, e.cfg.Dim)
+		return tensor.NewF32(0, e.cfg.Dim)
 	}
-	h := tensor.New(n, e.cfg.Dim)
+	h := tensor.NewF32(n, e.cfg.Dim)
 	for i, tok := range tokens {
 		emb := e.TokenEmbedding(tok)
 		row := h.Row(i)
@@ -244,19 +262,26 @@ func (e *Encoder) EncodeTokens(tokens []string) *tensor.Matrix {
 	return h
 }
 
+func matMulF32(a, b *tensor.F32) *tensor.F32 {
+	out := tensor.NewF32(a.Rows, b.Cols)
+	tensor.MatMulF32Into(out, a, b)
+	return out
+}
+
 // encoderLayer applies one frozen transformer block: multi-head
 // self-attention with residual + layernorm, then a GELU FFN with residual +
-// layernorm.
-func (e *Encoder) encoderLayer(h *tensor.Matrix, lw layerWeights) *tensor.Matrix {
+// layernorm. All storage is float32; softmax and layernorm use float64
+// scalar math (exp/sqrt) on float32 inputs — still fully deterministic.
+func (e *Encoder) encoderLayer(h *tensor.F32, lw layerWeights) *tensor.F32 {
 	n, dim := h.Rows, e.cfg.Dim
 	heads := e.cfg.Heads
 	hd := dim / heads
 
-	q := tensor.MatMul(h, lw.wq)
-	k := tensor.MatMul(h, lw.wk)
-	v := tensor.MatMul(h, lw.wv)
+	q := matMulF32(h, lw.wq)
+	k := matMulF32(h, lw.wk)
+	v := matMulF32(h, lw.wv)
 
-	ctx := tensor.New(n, dim)
+	ctx := tensor.NewF32(n, dim)
 	scale := 1 / math.Sqrt(float64(hd))
 	scores := make([]float64, n)
 	for hd0 := 0; hd0 < heads; hd0++ {
@@ -266,14 +291,14 @@ func (e *Encoder) encoderLayer(h *tensor.Matrix, lw layerWeights) *tensor.Matrix
 			mx := math.Inf(-1)
 			for j := 0; j < n; j++ {
 				kj := k.Row(j)[off : off+hd]
-				var s float64
+				var s float32
 				for d := 0; d < hd; d++ {
 					s += qi[d] * kj[d]
 				}
-				s *= scale
-				scores[j] = s
-				if s > mx {
-					mx = s
+				sf := float64(s) * scale
+				scores[j] = sf
+				if sf > mx {
+					mx = sf
 				}
 			}
 			var z float64
@@ -283,7 +308,7 @@ func (e *Encoder) encoderLayer(h *tensor.Matrix, lw layerWeights) *tensor.Matrix
 			}
 			crow := ctx.Row(i)[off : off+hd]
 			for j := 0; j < n; j++ {
-				w := scores[j] / z
+				w := float32(scores[j] / z)
 				vj := v.Row(j)[off : off+hd]
 				for d := 0; d < hd; d++ {
 					crow[d] += w * vj[d]
@@ -291,17 +316,31 @@ func (e *Encoder) encoderLayer(h *tensor.Matrix, lw layerWeights) *tensor.Matrix
 			}
 		}
 	}
-	attnOut := tensor.MatMul(ctx, lw.wo)
-	h1 := tensor.Add(h, attnOut)
-	layerNormInPlace(h1)
-
-	ffn := tensor.AddRowBroadcast(tensor.MatMul(h1, lw.ffn1), lw.ffn1b)
-	for i := range ffn.Data {
-		ffn.Data[i] = gelu(ffn.Data[i])
+	attnOut := matMulF32(ctx, lw.wo)
+	h1 := tensor.NewF32(n, dim)
+	for i, hv := range h.Data {
+		h1.Data[i] = hv + attnOut.Data[i]
 	}
-	ffnOut := tensor.AddRowBroadcast(tensor.MatMul(ffn, lw.ffn2), lw.ffn2b)
-	h2 := tensor.Add(h1, ffnOut)
-	layerNormInPlace(h2)
+	layerNormInPlaceF32(h1)
+
+	ffn := matMulF32(h1, lw.ffn1)
+	for i := 0; i < n; i++ {
+		row := ffn.Row(i)
+		for j, bv := range lw.ffn1b.Data {
+			row[j] = geluF32(row[j] + bv)
+		}
+	}
+	ffnOut := matMulF32(ffn, lw.ffn2)
+	h2 := tensor.NewF32(n, dim)
+	for i := 0; i < n; i++ {
+		row := ffnOut.Row(i)
+		h1row := h1.Row(i)
+		orow := h2.Row(i)
+		for j, bv := range lw.ffn2b.Data {
+			orow[j] = h1row[j] + row[j] + bv
+		}
+	}
+	layerNormInPlaceF32(h2)
 	return h2
 }
 
@@ -309,30 +348,36 @@ func gelu(x float64) float64 {
 	return 0.5 * x * (1 + math.Tanh(0.7978845608*(x+0.044715*x*x*x)))
 }
 
-func layerNormInPlace(m *tensor.Matrix) {
+func geluF32(x float32) float32 {
+	return float32(gelu(float64(x)))
+}
+
+func layerNormInPlaceF32(m *tensor.F32) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var mean float64
 		for _, v := range row {
-			mean += v
+			mean += float64(v)
 		}
 		mean /= float64(len(row))
 		var varr float64
 		for _, v := range row {
-			d := v - mean
+			d := float64(v) - mean
 			varr += d * d
 		}
 		varr /= float64(len(row))
 		inv := 1 / math.Sqrt(varr+1e-6)
 		for j := range row {
-			row[j] = (row[j] - mean) * inv
+			row[j] = float32((float64(row[j]) - mean) * inv)
 		}
 	}
 }
 
 // Encode returns the CLS vector of "[CLS] text [SEP]" — the paper's initial
-// node representation. Results are cached per distinct text.
-func (e *Encoder) Encode(text string) []float64 {
+// node representation, in the encoder's native float32. Results are cached
+// per distinct text; the returned slice is shared and must not be mutated.
+// Callers feeding a float64 tape widen at the copy (the tape boundary).
+func (e *Encoder) Encode(text string) []float32 {
 	if v, ok := e.textVecs.get(text); ok {
 		return v
 	}
@@ -340,7 +385,7 @@ func (e *Encoder) Encode(text string) []float64 {
 	tokens := append([]string{TokenCLS}, e.tok.Tokenize(text)...)
 	tokens = append(tokens, TokenSEP)
 	states := e.EncodeTokens(tokens)
-	v := append([]float64(nil), states.Row(0)...)
+	v := append([]float32(nil), states.Row(0)...)
 
 	return e.textVecs.put(text, v)
 }

@@ -24,13 +24,13 @@ func FuzzTokenizeAndEmbed(f *testing.F) {
 				t.Fatal("empty token produced")
 			}
 			for _, v := range enc.TokenEmbedding(tok) {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
 					t.Fatalf("non-finite embedding for token %q", tok)
 				}
 			}
 		}
 		for _, v := range enc.Encode(text) {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
 				t.Fatal("non-finite CLS vector")
 			}
 		}

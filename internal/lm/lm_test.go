@@ -110,12 +110,12 @@ func TestEncoderSeedChangesEmbedding(t *testing.T) {
 	}
 }
 
-func cosine(a, b []float64) float64 {
+func cosine(a, b []float32) float64 {
 	var dot, na, nb float64
 	for i := range a {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
 	}
 	return dot / math.Sqrt(na*nb+1e-12)
 }
@@ -150,9 +150,9 @@ func TestTokenEmbeddingUnitNorm(t *testing.T) {
 	v := e.TokenEmbedding("revenue")
 	var n float64
 	for _, x := range v {
-		n += x * x
+		n += float64(x) * float64(x)
 	}
-	if math.Abs(math.Sqrt(n)-1) > 1e-9 {
+	if math.Abs(math.Sqrt(n)-1) > 1e-6 {
 		t.Fatalf("token embedding norm = %v", math.Sqrt(n))
 	}
 }
@@ -173,7 +173,7 @@ func TestEncodeEmptyText(t *testing.T) {
 		t.Fatal("empty text must still return a CLS vector")
 	}
 	for _, x := range v {
-		if math.IsNaN(x) {
+		if math.IsNaN(float64(x)) {
 			t.Fatal("NaN in empty-text embedding")
 		}
 	}
@@ -218,7 +218,7 @@ func TestEncoderNoNaNs(t *testing.T) {
 		}
 		v := e.Encode(s)
 		for _, x := range v {
-			if math.IsNaN(x) || math.IsInf(x, 0) {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
 				return false
 			}
 		}
@@ -231,7 +231,7 @@ func TestEncoderNoNaNs(t *testing.T) {
 
 func TestEncoderConcurrentUse(t *testing.T) {
 	e := NewEncoder(DefaultConfig())
-	done := make(chan []float64, 8)
+	done := make(chan []float32, 8)
 	for i := 0; i < 8; i++ {
 		go func() { done <- e.Encode("concurrent access test") }()
 	}

@@ -1,0 +1,158 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The Into forms must agree with their allocating counterparts exactly —
+// same loops, different storage — including when out aliases an input.
+func TestElementwiseIntoMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a, b := randMat(rng, 5, 7), randMat(rng, 5, 7)
+	out := New(5, 7)
+
+	CopyInto(out, a)
+	bitEqual(t, "CopyInto", out, a.Clone())
+
+	AddInto(out, a, b)
+	bitEqual(t, "AddInto", out, Add(a, b))
+
+	SubInto(out, a, b)
+	bitEqual(t, "SubInto", out, Sub(a, b))
+
+	MulInto(out, a, b)
+	bitEqual(t, "MulInto", out, Mul(a, b))
+
+	ScaleInto(out, a, -2.5)
+	bitEqual(t, "ScaleInto", out, a.Scale(-2.5))
+
+	v := randMat(rng, 1, 7)
+	AddRowBroadcastInto(out, a, v)
+	bitEqual(t, "AddRowBroadcastInto", out, AddRowBroadcast(a, v))
+
+	s := []float64{2, -1, 0.5, 0, 3}
+	ScaleRowsInto(out, a, s)
+	bitEqual(t, "ScaleRowsInto", out, ScaleRows(a, s))
+
+	// Aliased: out == a must still be correct for the may-alias forms.
+	aliased := a.Clone()
+	AddInto(aliased, aliased, b)
+	bitEqual(t, "AddInto aliased", aliased, Add(a, b))
+	aliased = a.Clone()
+	ScaleInto(aliased, aliased, 4)
+	bitEqual(t, "ScaleInto aliased", aliased, a.Scale(4))
+}
+
+func TestReductionAndConcatInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := randMat(rng, 6, 4)
+	row := New(1, 4)
+
+	SumRowsInto(row, m)
+	bitEqual(t, "SumRowsInto", row, SumRows(m))
+	// SumRowsInto zeroes out first — a dirty out must not leak in.
+	row.Fill(99)
+	SumRowsInto(row, m)
+	bitEqual(t, "SumRowsInto dirty", row, SumRows(m))
+
+	MeanRowsInto(row, m)
+	bitEqual(t, "MeanRowsInto", row, MeanRows(m))
+
+	a, b := randMat(rng, 2, 4), randMat(rng, 3, 4)
+	vcat := New(5, 4)
+	ConcatRowsInto(vcat, a, b)
+	bitEqual(t, "ConcatRowsInto", vcat, ConcatRows(a, b))
+
+	c, d := randMat(rng, 3, 2), randMat(rng, 3, 5)
+	hcat := New(3, 7)
+	ConcatColsInto(hcat, c, d)
+	bitEqual(t, "ConcatColsInto", hcat, ConcatCols(c, d))
+
+	idx := []int{4, 0, 2}
+	gathered := New(3, 4)
+	GatherRowsInto(gathered, m, idx)
+	bitEqual(t, "GatherRowsInto", gathered, GatherRows(m, idx))
+}
+
+func TestIntoShapeMismatchPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CopyInto", func() { CopyInto(New(2, 2), New(2, 3)) }},
+		{"AddInto", func() { AddInto(New(2, 2), New(2, 2), New(2, 3)) }},
+		{"SubInto", func() { SubInto(New(2, 3), New(2, 2), New(2, 2)) }},
+		{"MulInto", func() { MulInto(New(2, 2), New(3, 2), New(2, 2)) }},
+		{"ScaleInto", func() { ScaleInto(New(2, 2), New(2, 3), 2) }},
+		{"AddRowBroadcastInto", func() { AddRowBroadcastInto(New(2, 3), New(2, 3), New(1, 2)) }},
+		{"ScaleRowsInto", func() { ScaleRowsInto(New(2, 3), New(2, 3), []float64{1}) }},
+		{"SumRowsInto", func() { SumRowsInto(New(1, 2), New(4, 3)) }},
+		{"ConcatRowsInto rows", func() { ConcatRowsInto(New(3, 2), New(2, 2), New(2, 2)) }},
+		{"ConcatRowsInto cols", func() { ConcatRowsInto(New(4, 2), New(2, 2), New(2, 3)) }},
+		{"ConcatColsInto cols", func() { ConcatColsInto(New(2, 3), New(2, 2), New(2, 2)) }},
+		{"ConcatColsInto rows", func() { ConcatColsInto(New(2, 4), New(2, 2), New(3, 2)) }},
+		{"GatherRowsInto", func() { GatherRowsInto(New(2, 3), New(4, 3), []int{0}) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected shape panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestF32Accessors(t *testing.T) {
+	m := NewF32(2, 3)
+	m.Set(1, 2, 4.5)
+	if m.At(1, 2) != 4.5 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	row[0] = -1 // Row aliases storage
+	if m.At(1, 0) != -1 {
+		t.Fatal("Row must alias the matrix")
+	}
+	if got := m.String(); got != "F32(2x3)" {
+		t.Fatalf("String = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shape must panic")
+		}
+	}()
+	NewF32(-1, 2)
+}
+
+func TestWidenNarrowShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"WidenInto":  func() { WidenInto(New(2, 2), NewF32(2, 3)) },
+		"NarrowInto": func() { NarrowInto(NewF32(3, 2), New(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected shape panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixStringAndFill(t *testing.T) {
+	m := New(3, 4)
+	m.Fill(2.5)
+	for _, v := range m.Data {
+		if v != 2.5 {
+			t.Fatal("Fill missed an element")
+		}
+	}
+	if got := m.String(); got == "" {
+		t.Fatal("String must describe the matrix")
+	}
+}

@@ -4,15 +4,16 @@
 // The package is deliberately small: everything Pythagoras needs — matrix
 // products, broadcasts, reductions, row gather/scatter — and nothing else.
 // All operations are deterministic and allocation behaviour is explicit:
-// functions ending in InPlace mutate their receiver, everything else
-// allocates a fresh result.
+// functions ending in InPlace mutate their receiver, functions ending in
+// Into write into caller-owned storage (the hot-path forms — see matmul.go
+// and the autodiff arena that feeds them), and everything else allocates a
+// fresh result. A float32 mirror of the storage type lives in f32.go for
+// the frozen encoder.
 package tensor
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -98,138 +99,6 @@ func (m *Matrix) SameShape(other *Matrix) bool {
 
 func (m *Matrix) String() string {
 	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
-}
-
-// MatMul returns a×b. Panics if inner dimensions disagree.
-func MatMul(a, b *Matrix) *Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Cols) // fresh allocations are already zero
-	matMulDispatch(out, a, b)
-	return out
-}
-
-// parallelThreshold is the flop count above which MatMulInto fans out
-// across CPU cores.
-const parallelThreshold = 1 << 20
-
-// MatMulInto computes out = a×b. out must be a.Rows×b.Cols and must not
-// alias a or b. Large products are computed in parallel across row blocks.
-func MatMulInto(out, a, b *Matrix) {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	if out.Rows != a.Rows || out.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulInto out %dx%d want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
-	}
-	out.Zero()
-	matMulDispatch(out, a, b)
-}
-
-// matMulDispatch accumulates a×b into out (which must be zero) either
-// serially or across row blocks when the product is large.
-func matMulDispatch(out, a, b *Matrix) {
-	flops := a.Rows * a.Cols * b.Cols
-	workers := 1
-	if flops > parallelThreshold {
-		workers = runtime.NumCPU()
-		if workers > a.Rows {
-			workers = a.Rows
-		}
-	}
-	if workers <= 1 {
-		matMulRows(out, a, b, 0, a.Rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRows(out, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// matMulRows computes out rows [lo, hi) with the cache-friendly ikj order.
-// The inner loop is unrolled 4-wide; element updates are independent, so the
-// result is bit-identical to the straight loop.
-func matMulRows(out, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			brow = brow[:len(orow)] // bounds-check elimination hint
-			j := 0
-			for ; j+4 <= len(orow); j += 4 {
-				orow[j] += av * brow[j]
-				orow[j+1] += av * brow[j+1]
-				orow[j+2] += av * brow[j+2]
-				orow[j+3] += av * brow[j+3]
-			}
-			for ; j < len(orow); j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// MatMulTransposeB returns a×bᵀ.
-func MatMulTransposeB(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulTransposeB %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			orow[j] = s
-		}
-	}
-	return out
-}
-
-// MatMulTransposeA returns aᵀ×b.
-func MatMulTransposeA(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulTransposeA (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
-	out := New(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
-		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
 }
 
 // Transpose returns mᵀ.
@@ -341,10 +210,19 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 // GatherRows returns a matrix whose i-th row is m.Row(idx[i]).
 func GatherRows(m *Matrix, idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
+	GatherRowsInto(out, m, idx)
+	return out
+}
+
+// GatherRowsInto copies m.Row(idx[i]) into row i of out. out must be
+// len(idx)×m.Cols.
+func GatherRowsInto(out, m *Matrix, idx []int) {
+	if out.Rows != len(idx) || out.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: GatherRowsInto out %v want %dx%d", out, len(idx), m.Cols))
+	}
 	for i, r := range idx {
 		copy(out.Row(i), m.Row(r))
 	}
-	return out
 }
 
 // ScatterAddRows adds each row i of src into dst row idx[i].
@@ -498,4 +376,153 @@ func (m *Matrix) HasNaN() bool {
 		}
 	}
 	return false
+}
+
+// --- Into-variants of the elementwise ops ---
+//
+// The allocating forms above stay for cold paths and tests; the forms below
+// write into caller-owned (typically arena-recycled) storage and are what
+// the autodiff tape and inference engine use steady-state.
+
+func checkSameShape3(op string, out, a, b *Matrix) {
+	if !out.SameShape(a) || !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s out=%v a=%v b=%v", op, out, a, b))
+	}
+}
+
+// CopyInto copies m into out (same shape).
+func CopyInto(out, m *Matrix) {
+	if !out.SameShape(m) {
+		panic(fmt.Sprintf("tensor: CopyInto %v <- %v", out, m))
+	}
+	copy(out.Data, m.Data)
+}
+
+// AddInto computes out = a+b elementwise. out may alias a or b.
+func AddInto(out, a, b *Matrix) {
+	checkSameShape3("AddInto", out, a, b)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+}
+
+// SubInto computes out = a-b elementwise. out may alias a or b.
+func SubInto(out, a, b *Matrix) {
+	checkSameShape3("SubInto", out, a, b)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+}
+
+// MulInto computes out = a⊙b elementwise. out may alias a or b.
+func MulInto(out, a, b *Matrix) {
+	checkSameShape3("MulInto", out, a, b)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+}
+
+// ScaleInto computes out = s·m. out may alias m.
+func ScaleInto(out, m *Matrix, s float64) {
+	if !out.SameShape(m) {
+		panic(fmt.Sprintf("tensor: ScaleInto %v <- %v", out, m))
+	}
+	for i, v := range m.Data {
+		out.Data[i] = s * v
+	}
+}
+
+// AddRowBroadcastInto computes out = m with row vector v (1×Cols) added to
+// every row. out may alias m.
+func AddRowBroadcastInto(out, m, v *Matrix) {
+	if v.Rows != 1 || v.Cols != m.Cols || !out.SameShape(m) {
+		panic(fmt.Sprintf("tensor: AddRowBroadcastInto out=%v m=%v v=%v", out, m, v))
+	}
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for j, bv := range v.Data {
+			orow[j] = mrow[j] + bv
+		}
+	}
+}
+
+// ScaleRowsInto multiplies row i of m by s[i], writing into out. out may
+// alias m.
+func ScaleRowsInto(out, m *Matrix, s []float64) {
+	if len(s) != m.Rows || !out.SameShape(m) {
+		panic(fmt.Sprintf("tensor: ScaleRowsInto out=%v m=%v scales=%d", out, m, len(s)))
+	}
+	for i, sv := range s {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for j, v := range mrow {
+			orow[j] = sv * v
+		}
+	}
+}
+
+// SumRowsInto writes the column sums of m into the 1×Cols vector out.
+func SumRowsInto(out, m *Matrix) {
+	if out.Rows != 1 || out.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto out=%v m=%v", out, m))
+	}
+	out.Zero()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+}
+
+// MeanRowsInto writes the column means of m into the 1×Cols vector out.
+func MeanRowsInto(out, m *Matrix) {
+	SumRowsInto(out, m)
+	if m.Rows > 0 {
+		out.ScaleInPlace(1 / float64(m.Rows))
+	}
+}
+
+// ConcatRowsInto stacks matrices vertically into out, which must have the
+// summed row count and the shared column count.
+func ConcatRowsInto(out *Matrix, ms ...*Matrix) {
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != out.Cols {
+			panic(fmt.Sprintf("tensor: ConcatRowsInto col mismatch %d vs %d", m.Cols, out.Cols))
+		}
+		rows += m.Rows
+	}
+	if rows != out.Rows {
+		panic(fmt.Sprintf("tensor: ConcatRowsInto out has %d rows, want %d", out.Rows, rows))
+	}
+	at := 0
+	for _, m := range ms {
+		copy(out.Data[at:at+len(m.Data)], m.Data)
+		at += len(m.Data)
+	}
+}
+
+// ConcatColsInto concatenates matrices horizontally into out, which must
+// have the shared row count and the summed column count.
+func ConcatColsInto(out *Matrix, ms ...*Matrix) {
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != out.Rows {
+			panic(fmt.Sprintf("tensor: ConcatColsInto row mismatch %d vs %d", m.Rows, out.Rows))
+		}
+		cols += m.Cols
+	}
+	if cols != out.Cols {
+		panic(fmt.Sprintf("tensor: ConcatColsInto out has %d cols, want %d", out.Cols, cols))
+	}
+	for i := 0; i < out.Rows; i++ {
+		at := 0
+		orow := out.Row(i)
+		for _, m := range ms {
+			copy(orow[at:at+m.Cols], m.Row(i))
+			at += m.Cols
+		}
+	}
 }
