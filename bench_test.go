@@ -15,6 +15,7 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	pythagoras "github.com/sematype/pythagoras"
 	"github.com/sematype/pythagoras/internal/baselines"
@@ -27,6 +28,7 @@ import (
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/obs/slo"
 	"github.com/sematype/pythagoras/internal/table"
 )
 
@@ -352,5 +354,17 @@ func BenchmarkBaselineSherlockFeaturize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.FeaturizeTable(c.Tables[i%len(c.Tables)])
+	}
+}
+
+// BenchmarkSLORecord measures the per-request cost of SLO accounting — the
+// hot-path tax every served request pays in the access-log middleware
+// (DESIGN.md §13). Two objectives (availability + latency), mixed outcomes.
+func BenchmarkSLORecord(b *testing.B) {
+	eng := slo.New(slo.DefaultObjectives(0.999, 250*time.Millisecond))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Record(time.Duration(i%400)*time.Millisecond, i%10 != 0)
 	}
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/sematype/pythagoras/internal/loadgen"
+)
+
+func TestBuildProfile(t *testing.T) {
+	p := buildProfile("soak", loadgen.ArrivalFixed, 100, 0, 0, 5*time.Second, time.Second, 10*time.Second, 2*time.Second)
+	if p.Name != "soak" || p.QPS != 100 || p.Arrival != loadgen.ArrivalFixed || p.Warmup != 2*time.Second {
+		t.Fatalf("soak profile = %+v", p)
+	}
+	// Burst and ramp default their shape parameters off the base rate.
+	p = buildProfile("burst", loadgen.ArrivalPoisson, 100, 0, 0, 5*time.Second, time.Second, 10*time.Second, 0)
+	if p.BurstQPS != 500 || p.BurstEvery != 5*time.Second {
+		t.Fatalf("burst defaults = %+v", p)
+	}
+	p = buildProfile("burst", loadgen.ArrivalPoisson, 100, 0, 800, 5*time.Second, time.Second, 10*time.Second, 0)
+	if p.BurstQPS != 800 {
+		t.Fatalf("explicit burst rate ignored: %+v", p)
+	}
+	p = buildProfile("ramp", loadgen.ArrivalPoisson, 100, 0, 0, 0, 0, 10*time.Second, 0)
+	if p.RampTo != 300 {
+		t.Fatalf("ramp default = %+v", p)
+	}
+	p = buildProfile("ramp", loadgen.ArrivalPoisson, 100, 250, 0, 0, 0, 10*time.Second, 0)
+	if p.RampTo != 250 {
+		t.Fatalf("explicit ramp target ignored: %+v", p)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := writeJSON(path, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Fatal("report file does not end in a newline")
+	}
+	var v map[string]int
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v["a"] != 1 {
+		t.Fatalf("round-trip = %v", v)
+	}
+}

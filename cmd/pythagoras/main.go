@@ -35,6 +35,7 @@ import (
 	"github.com/sematype/pythagoras/internal/lm"
 	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/obs/logz"
+	"github.com/sematype/pythagoras/internal/obs/slo"
 	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/server"
 	"github.com/sematype/pythagoras/internal/table"
@@ -280,6 +281,8 @@ func cmdServe(args []string) {
 	traceSample := fs.Float64("trace-sample", 0.01, "fraction of request traces kept (errored/slow traces are always kept)")
 	traceBuffer := fs.Int("trace-buffer", obs.DefaultTraceBuffer, "trace ring-buffer capacity served by /v1/traces")
 	traceSlow := fs.Duration("trace-slow", time.Second, "always keep traces at least this long (0 disables)")
+	sloTarget := fs.Float64("slo-target", server.DefaultSLOTarget, "SLO success-ratio objective in (0,1); budget and burn rates derive from it (see /v1/slo)")
+	sloLatencyMs := fs.Int("slo-latency-ms", int(server.DefaultSLOLatency/time.Millisecond), "latency-objective threshold in milliseconds: slower responses burn the latency SLO budget")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
@@ -302,17 +305,18 @@ func cmdServe(args []string) {
 	recorder := obs.NewTraceRecorder(obs.TraceConfig{
 		SampleRate: *traceSample, SlowThreshold: *traceSlow, Buffer: *traceBuffer,
 	})
+	sloEng := slo.New(slo.DefaultObjectives(*sloTarget, time.Duration(*sloLatencyMs)*time.Millisecond))
 	opts := []server.Option{
 		server.WithLogger(log.Default()), server.WithDebug(*debug),
 		server.WithRequestTimeout(*requestTimeout), server.WithMaxInflight(*maxInflight),
-		server.WithTraceRecorder(recorder),
+		server.WithTraceRecorder(recorder), server.WithSLO(sloEng),
 	}
 	if slog != nil {
 		opts = append(opts, server.WithLogz(slog.With("component", "server")))
 	}
 	srv := server.NewWithEngine(eng, *minConf, opts...)
-	log.Printf("pythagoras serving on %s (vocabulary: %d types, debug=%v, request-timeout=%s, max-inflight=%d)",
-		*addr, len(m.Types()), *debug, *requestTimeout, *maxInflight)
+	log.Printf("pythagoras serving on %s (vocabulary: %d types, debug=%v, request-timeout=%s, max-inflight=%d, slo-target=%g, slo-latency=%dms)",
+		*addr, len(m.Types()), *debug, *requestTimeout, *maxInflight, *sloTarget, *sloLatencyMs)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

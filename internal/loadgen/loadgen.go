@@ -1,0 +1,550 @@
+// Package loadgen is the open-loop traffic harness that measures the
+// serving path under sustained load (DESIGN.md §13) — the tool behind
+// `make loadtest` and BENCH_serve.json.
+//
+// Open-loop means arrivals follow a schedule that does not depend on how
+// fast the server answers: a real population of clients does not politely
+// wait for each other's responses before sending. The alternative —
+// closed-loop workers that issue request N+1 only after N returns — is the
+// classic coordinated-omission trap: the moment the server stalls, the
+// generator stops offering load, and the stall mostly disappears from the
+// recorded latencies. This harness avoids both halves of the trap:
+//
+//   - Arrivals are generated from the schedule alone (fixed-rate or Poisson
+//     at a configurable QPS, with ramp and burst shaping), so offered load
+//     keeps arriving while the server struggles — exactly when measurement
+//     matters most.
+//   - Every latency is measured from the request's *scheduled* send time,
+//     not the moment the dispatcher actually got around to writing bytes.
+//     If the harness itself falls behind, the backlog shows up as latency
+//     instead of silently stretching the test.
+//
+// Latencies land in an internal/obs histogram; per-status counts, shed
+// rate, achieved-vs-offered QPS and the p50/p90/p99/p999 summary render
+// into a JSON Report. The measured window opens only after the target's
+// /v1/readyz goes green and the configured warmup has been discarded.
+//
+// The package is the library half of cmd/loadgen; tests drive Run directly
+// against an httptest server, which is the in-process integration loop the
+// chaos suite uses (drive load past -max-inflight, watch http.shed rise,
+// see the SLO burn-rate gauges move).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sematype/pythagoras/internal/data"
+	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/obs/slo"
+	"github.com/sematype/pythagoras/internal/server"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// Arrival processes.
+const (
+	ArrivalFixed   = "fixed"   // deterministic 1/rate inter-arrival gaps
+	ArrivalPoisson = "poisson" // exponential gaps, the memoryless default
+)
+
+// Profile shapes the offered load over time.
+type Profile struct {
+	// Name labels the profile in reports ("soak", "ramp", "burst", ...).
+	Name string
+	// Arrival selects the arrival process (ArrivalPoisson when empty).
+	Arrival string
+	// QPS is the base offered rate, > 0.
+	QPS float64
+	// RampTo, when > 0, ramps the rate linearly from QPS to RampTo across
+	// the measured window.
+	RampTo float64
+	// BurstQPS, when > 0, raises the rate to BurstQPS for BurstLen at the
+	// start of every BurstEvery period — offered load spikes on top of the
+	// base rate.
+	BurstQPS   float64
+	BurstEvery time.Duration
+	BurstLen   time.Duration
+	// Duration is the measured window; Warmup is offered (and sent) before
+	// it but discarded from every reported number.
+	Duration time.Duration
+	Warmup   time.Duration
+}
+
+// rate is the instantaneous offered rate at elapsed time into the measured
+// window (warmup uses the rate at 0).
+func (p Profile) rate(el time.Duration) float64 {
+	r := p.QPS
+	if p.RampTo > 0 && p.Duration > 0 {
+		frac := float64(el) / float64(p.Duration)
+		frac = math.Max(0, math.Min(1, frac))
+		r = p.QPS + (p.RampTo-p.QPS)*frac
+	}
+	if p.BurstQPS > 0 && p.BurstEvery > 0 && el >= 0 {
+		if el%p.BurstEvery < p.BurstLen {
+			r = math.Max(r, p.BurstQPS)
+		}
+	}
+	if r <= 0 {
+		r = 1
+	}
+	return r
+}
+
+// Soak is a constant-rate profile.
+func Soak(qps float64, dur, warmup time.Duration) Profile {
+	return Profile{Name: "soak", QPS: qps, Duration: dur, Warmup: warmup}
+}
+
+// Burst is a base rate with periodic spikes to burstQPS.
+func Burst(baseQPS, burstQPS float64, every, length, dur, warmup time.Duration) Profile {
+	return Profile{
+		Name: "burst", QPS: baseQPS, BurstQPS: burstQPS,
+		BurstEvery: every, BurstLen: length, Duration: dur, Warmup: warmup,
+	}
+}
+
+// Ramp rises linearly from fromQPS to toQPS over the window.
+func Ramp(fromQPS, toQPS float64, dur, warmup time.Duration) Profile {
+	return Profile{Name: "ramp", QPS: fromQPS, RampTo: toQPS, Duration: dur, Warmup: warmup}
+}
+
+// Config is one load run.
+type Config struct {
+	// Target is the base URL of the server ("http://127.0.0.1:8080").
+	Target string
+	// Client overrides the HTTP client (default: transport tuned for many
+	// concurrent connections, no client-side timeout — the server's
+	// deadline is part of what is being measured).
+	Client *http.Client
+	// Profile shapes the offered load.
+	Profile Profile
+	// BatchFraction of arrivals are POST /v1/predict-batch (BatchSize
+	// tables each); the rest are single-table /v1/predict.
+	BatchFraction float64
+	BatchSize     int
+	// Seed drives the workload corpus and every random draw (arrival gaps,
+	// workload mix) — two runs with one seed offer identical schedules.
+	Seed int64
+	// CorpusTables is the number of distinct tables in the seeded workload
+	// corpus (default 24).
+	CorpusTables int
+	// HonorRetryAfter: when a 429/503 carries Retry-After, arrivals
+	// scheduled before the advised time are suppressed (counted, not sent).
+	// Off by default: a pure open-loop client keeps offering load, which is
+	// the right way to measure shedding itself.
+	HonorRetryAfter bool
+	// MaxOutstanding caps in-flight requests as a client-side safety valve
+	// (default 4096). Arrivals past the cap are counted as dropped, never
+	// silently skipped.
+	MaxOutstanding int
+	// ReadyTimeout bounds the pre-run /v1/readyz poll (default 30s).
+	ReadyTimeout time.Duration
+	// FetchSLO appends the target's /v1/slo status to the report.
+	FetchSLO bool
+}
+
+// LatencySummary condenses the schedule-based latency histogram.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Report is the JSON result of one Run — the per-profile unit of
+// BENCH_serve.json.
+type Report struct {
+	Profile         string  `json:"profile"`
+	Arrival         string  `json:"arrival"`
+	TargetQPS       float64 `json:"target_qps"`
+	RampToQPS       float64 `json:"ramp_to_qps,omitempty"`
+	BurstQPS        float64 `json:"burst_qps,omitempty"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+
+	// Offered side: arrivals the schedule produced inside the measured
+	// window, and what became of each before a response was in play.
+	Scheduled  uint64 `json:"scheduled"`
+	Sent       uint64 `json:"sent"`
+	Suppressed uint64 `json:"suppressed,omitempty"` // Retry-After honoring
+	Dropped    uint64 `json:"dropped,omitempty"`    // MaxOutstanding safety valve
+
+	// Answered side.
+	Completed       uint64            `json:"completed"`
+	TransportErrors uint64            `json:"transport_errors,omitempty"`
+	Status          map[string]uint64 `json:"status"` // per-status counts: "200", "429", ...
+
+	OfferedQPS  float64 `json:"offered_qps"`  // scheduled / duration
+	AchievedQPS float64 `json:"achieved_qps"` // completed / duration, any status
+	SuccessQPS  float64 `json:"success_qps"`  // 2xx / duration
+	ShedRate    float64 `json:"shed_rate"`    // 429s / sent
+
+	// Latency summarizes 2xx responses only, measured from each request's
+	// scheduled send time (coordinated-omission-safe).
+	Latency LatencySummary `json:"latency"`
+
+	// SLO is the target's /v1/slo status after the run (FetchSLO).
+	SLO *slo.Status `json:"slo,omitempty"`
+}
+
+// latencyBuckets is the histogram scale for request latencies: 100µs to
+// ~45s, ×1.3 — fine enough near the millisecond range that p999 stays
+// meaningful, wide enough to catch a queue-collapsed tail.
+var latencyBuckets = obs.ExpBuckets(1e-4, 1.3, 50)
+
+// workload is the seeded request corpus: pre-marshaled bodies so the
+// dispatch path does no JSON work.
+type workload struct {
+	singles [][]byte
+	batches [][]byte
+}
+
+// buildWorkload generates the corpus and marshals the wire bodies.
+func buildWorkload(cfg Config) (*workload, error) {
+	n := cfg.CorpusTables
+	if n <= 0 {
+		n = 24
+	}
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+	c := data.GenerateSportsTables(data.SportsConfig{
+		NumTables: n, Seed: cfg.Seed, MinRows: 6, MaxRows: 12, WeakNameProb: 0.1, Domains: 3,
+	})
+	w := &workload{}
+	reqs := make([]server.TableRequest, 0, len(c.Tables))
+	for _, t := range c.Tables {
+		tr := server.TableRequest{Name: t.Name}
+		for _, col := range t.Columns {
+			cr := server.ColumnRequest{Header: col.Header}
+			if col.Kind == table.KindNumeric {
+				for _, v := range col.NumValues {
+					cr.Values = append(cr.Values, strconv.FormatFloat(v, 'g', -1, 64))
+				}
+			} else {
+				cr.Values = col.TextValues
+			}
+			tr.Columns = append(tr.Columns, cr)
+		}
+		reqs = append(reqs, tr)
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshal table %s: %w", t.ID, err)
+		}
+		w.singles = append(w.singles, raw)
+	}
+	for i := 0; i+batchSize <= len(reqs); i += batchSize {
+		raw, err := json.Marshal(server.BatchRequest{Tables: reqs[i : i+batchSize]})
+		if err != nil {
+			return nil, err
+		}
+		w.batches = append(w.batches, raw)
+	}
+	if len(w.batches) == 0 { // corpus smaller than one batch: reuse it whole
+		raw, err := json.Marshal(server.BatchRequest{Tables: reqs})
+		if err != nil {
+			return nil, err
+		}
+		w.batches = append(w.batches, raw)
+	}
+	return w, nil
+}
+
+// tally accumulates one window's worth of results (warmup and measured keep
+// separate tallies; only measured renders into the report).
+type tally struct {
+	mu        sync.Mutex
+	status    map[int]uint64
+	completed uint64
+	errors    uint64
+	hist      *obs.Histogram
+}
+
+func newTally() *tally {
+	return &tally{status: map[int]uint64{}, hist: obs.NewHistogram(latencyBuckets)}
+}
+
+func (t *tally) record(status int, latency time.Duration, transportErr bool) {
+	t.mu.Lock()
+	if transportErr {
+		t.errors++
+	} else {
+		t.completed++
+		t.status[status]++
+	}
+	t.mu.Unlock()
+	if !transportErr && status >= 200 && status < 300 {
+		t.hist.Observe(latency.Seconds())
+	}
+}
+
+// AwaitReady polls target's /v1/readyz until it answers 200 — the gate that
+// keeps a half-started server (model loading, listener up but draining
+// predecessor still bound) out of the measured window.
+func AwaitReady(ctx context.Context, client *http.Client, target string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	url := strings.TrimSuffix(target, "/") + "/v1/readyz"
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: target %s not ready within %s", target, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Run executes one profile against the target and renders the report. It
+// polls /v1/readyz first, offers Warmup+Duration of load, then waits for
+// stragglers before summarizing.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	p := cfg.Profile
+	if p.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: profile %q needs QPS > 0", p.Name)
+	}
+	if p.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: profile %q needs Duration > 0", p.Name)
+	}
+	arrival := p.Arrival
+	if arrival == "" {
+		arrival = ArrivalPoisson
+	}
+	if arrival != ArrivalFixed && arrival != ArrivalPoisson {
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q", arrival)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns: 512, MaxIdleConnsPerHost: 512, MaxConnsPerHost: 0,
+		}}
+	}
+	maxOut := cfg.MaxOutstanding
+	if maxOut <= 0 {
+		maxOut = 4096
+	}
+	w, err := buildWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := AwaitReady(ctx, client, cfg.Target, cfg.ReadyTimeout); err != nil {
+		return nil, err
+	}
+
+	base := strings.TrimSuffix(cfg.Target, "/")
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	warm, measured := newTally(), newTally()
+	var scheduled, sent, suppressed, dropped uint64 // measured window only
+	var outstanding atomic.Int64
+	var backoffUntil atomic.Int64 // nanoseconds on the schedule clock
+	var wg sync.WaitGroup
+
+	span := p.Warmup + p.Duration
+	start := time.Now()
+	for sched := time.Duration(0); sched < span; {
+		inMeasured := sched >= p.Warmup
+		if inMeasured {
+			scheduled++
+		}
+		// Pick the workload item with the schedule's rng (never in the
+		// request goroutine — draws must not depend on completion order).
+		isBatch := cfg.BatchFraction > 0 && rng.Float64() < cfg.BatchFraction
+		var url string
+		var body []byte
+		if isBatch {
+			url = base + "/v1/predict-batch"
+			body = w.batches[rng.Intn(len(w.batches))]
+		} else {
+			url = base + "/v1/predict"
+			body = w.singles[rng.Intn(len(w.singles))]
+		}
+
+		// Open-loop pacing: sleep until this arrival's scheduled instant.
+		if d := time.Until(start.Add(sched)); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		switch {
+		case cfg.HonorRetryAfter && int64(sched) < backoffUntil.Load():
+			if inMeasured {
+				suppressed++
+			}
+		case outstanding.Load() >= int64(maxOut):
+			if inMeasured {
+				dropped++
+			}
+		default:
+			if inMeasured {
+				sent++
+			}
+			t := warm
+			if inMeasured {
+				t = measured
+			}
+			outstanding.Add(1)
+			wg.Add(1)
+			go func(sched time.Duration, url string, body []byte, t *tally) {
+				defer wg.Done()
+				defer outstanding.Add(-1)
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					t.record(0, 0, true)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				// Schedule-based latency: however long the dispatcher or the
+				// connection pool delayed the send, the clock started when the
+				// request was *due*.
+				lat := time.Since(start.Add(sched))
+				if err != nil {
+					t.record(0, 0, true)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if ra := resp.Header.Get("Retry-After"); ra != "" &&
+					(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) {
+					if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+						until := int64(sched + lat + time.Duration(secs)*time.Second)
+						for {
+							cur := backoffUntil.Load()
+							if until <= cur || backoffUntil.CompareAndSwap(cur, until) {
+								break
+							}
+						}
+					}
+				}
+				t.record(resp.StatusCode, lat, false)
+			}(sched, url, body, t)
+		}
+
+		// Advance the schedule by the arrival process.
+		r := p.rate(sched - p.Warmup)
+		switch arrival {
+		case ArrivalFixed:
+			sched += time.Duration(float64(time.Second) / r)
+		case ArrivalPoisson:
+			sched += time.Duration(rng.ExpFloat64() * float64(time.Second) / r)
+		}
+	}
+
+	// Drain stragglers: open-loop offering has ended; give in-flight
+	// requests a bounded grace period.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("loadgen: %d requests still outstanding 30s after the window closed",
+			outstanding.Load())
+	}
+
+	rep := renderReport(p, arrival, scheduled, sent, suppressed, dropped, measured)
+	if cfg.FetchSLO {
+		var st slo.Status
+		if err := fetchJSON(ctx, client, base+"/v1/slo", &st); err == nil {
+			rep.SLO = &st
+		}
+	}
+	return rep, nil
+}
+
+func fetchJSON(ctx context.Context, client *http.Client, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// renderReport folds the measured tally into the wire report.
+func renderReport(p Profile, arrival string, scheduled, sent, suppressed, dropped uint64, t *tally) *Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rep := &Report{
+		Profile:         p.Name,
+		Arrival:         arrival,
+		TargetQPS:       p.QPS,
+		RampToQPS:       p.RampTo,
+		BurstQPS:        p.BurstQPS,
+		DurationSeconds: p.Duration.Seconds(),
+		WarmupSeconds:   p.Warmup.Seconds(),
+		Scheduled:       scheduled,
+		Sent:            sent,
+		Suppressed:      suppressed,
+		Dropped:         dropped,
+		Completed:       t.completed,
+		TransportErrors: t.errors,
+		Status:          map[string]uint64{},
+	}
+	var success uint64
+	for code, n := range t.status {
+		rep.Status[strconv.Itoa(code)] = n
+		if code >= 200 && code < 300 {
+			success += n
+		}
+	}
+	secs := p.Duration.Seconds()
+	rep.OfferedQPS = float64(scheduled) / secs
+	rep.AchievedQPS = float64(t.completed) / secs
+	rep.SuccessQPS = float64(success) / secs
+	if sent > 0 {
+		rep.ShedRate = float64(t.status[http.StatusTooManyRequests]) / float64(sent)
+	}
+	if hs := t.hist.Snapshot(); hs.Count > 0 {
+		rep.Latency = LatencySummary{
+			Count:  hs.Count,
+			MeanMs: hs.Sum / float64(hs.Count) * 1000,
+			P50Ms:  hs.P50 * 1000,
+			P90Ms:  hs.P90 * 1000,
+			P99Ms:  hs.P99 * 1000,
+			P999Ms: t.hist.Quantile(0.999) * 1000,
+			MaxMs:  hs.Max * 1000,
+		}
+	}
+	return rep
+}

@@ -183,3 +183,45 @@ func TestHistogramSnapshotQuantilesInsideExtrema(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestHistogramSingleObservation: with exactly one sample, every quantile
+// and both extrema must report that sample — the interpolation must not
+// invent values between the bucket's lower bound and the observation.
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	h.Observe(7)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 7 || s.Max != 7 || s.Sum != 7 {
+		t.Fatalf("snapshot = %+v, want count/min/max/sum all from the single sample", s)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %v, want 7 (the only observation)", q, got)
+		}
+	}
+	if s.P50 != 7 || s.P90 != 7 || s.P99 != 7 {
+		t.Fatalf("snapshot quantiles = %v/%v/%v, want 7", s.P50, s.P90, s.P99)
+	}
+}
+
+// TestHistogramAllMassOneBucket: when every observation lands in a single
+// interior bucket, quantiles must stay inside the observed [min, max] of
+// that bucket, never drift to the bucket's nominal bounds.
+func TestHistogramAllMassOneBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 1000; i++ {
+		h.Observe(5) // all mass in the (1, 10] bucket, at one point
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 0.999} {
+		if got := h.Quantile(q); got != 5 {
+			t.Fatalf("Quantile(%v) = %v, want clamped to 5", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.P50 != 5 || s.P99 != 5 {
+		t.Fatalf("snapshot quantiles = %v/%v, want 5", s.P50, s.P99)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].UpperBound != 10 || s.Buckets[0].Count != 1000 {
+		t.Fatalf("bucket layout = %+v, want all 1000 in le=10", s.Buckets)
+	}
+}

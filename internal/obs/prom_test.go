@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -237,5 +238,57 @@ func TestSnapshotJSONBackwardCompat(t *testing.T) {
 	var snapCount uint64
 	if err := json.Unmarshal(h["count"], &snapCount); err != nil || snapCount != 5 {
 		t.Fatalf("count = %s, want 5", h["count"])
+	}
+}
+
+// TestLabelsRaceWritePrometheus drives concurrent creation of labeled
+// series (the registry-mutating path behind obs.Labels call sites) against
+// WritePrometheus and Snapshot readers — the scrape-during-traffic shape
+// that must stay clean under -race. Every render must also remain
+// structurally sane while series appear underneath it.
+func TestLabelsRaceWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			types := []string{"player.age", "team.name", "match.date", "price"}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := Labels("infer.predicted", "type", types[(i+w)%len(types)], "worker", strconv.Itoa(w))
+				r.Counter(key).Inc()
+				r.Gauge(Labels("pool.busy", "worker", strconv.Itoa(w))).Set(float64(i))
+				r.Histogram(Labels("lat", "worker", strconv.Itoa(w)), []float64{0.1, 1}).Observe(float64(i % 3))
+				i++
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Errorf("WritePrometheus: %v", err)
+			break
+		}
+		_ = r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+	// A final quiescent render must be byte-stable.
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("quiescent render not byte-stable after concurrent label creation")
 	}
 }

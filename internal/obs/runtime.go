@@ -10,6 +10,11 @@ import (
 	"time"
 )
 
+// processStart anchors process.uptime_seconds. Package-init time is close
+// enough to exec time for interpreting benchmark artifacts, which is what
+// the gauge exists for.
+var processStart = time.Now()
+
 // memStatsReader caches runtime.ReadMemStats for a refresh interval.
 type memStatsReader struct {
 	mu      sync.Mutex
@@ -36,6 +41,14 @@ func (m *memStatsReader) read() runtime.MemStats {
 //	runtime.gc.count                completed GC cycles
 //	runtime.gc.pause.total.seconds  cumulative stop-the-world pause time
 //	runtime.sys.bytes               total bytes obtained from the OS
+//	runtime.gomaxprocs              GOMAXPROCS at scrape time
+//	runtime.num_cpu                 logical CPUs visible to the process
+//	process.uptime_seconds          seconds since process start
+//
+// The last three make performance artifacts (BENCH_serve.json, a scraped
+// dashboard) interpretable across machines: a throughput number without the
+// CPU budget behind it is unreadable, and uptime separates a freshly warmed
+// process from one hours into its cache lifetime.
 //
 // Values are read lazily at snapshot/scrape time; ReadMemStats is throttled
 // to at most once per second so a tight scrape loop cannot turn telemetry
@@ -47,6 +60,15 @@ func RegisterRuntimeMetrics(r *Registry) {
 	ms := &memStatsReader{refresh: time.Second}
 	r.GaugeFunc("runtime.goroutines", func() float64 {
 		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("runtime.gomaxprocs", func() float64 {
+		return float64(runtime.GOMAXPROCS(0))
+	})
+	r.GaugeFunc("runtime.num_cpu", func() float64 {
+		return float64(runtime.NumCPU())
+	})
+	r.GaugeFunc("process.uptime_seconds", func() float64 {
+		return time.Since(processStart).Seconds()
 	})
 	r.GaugeFunc("runtime.heap.alloc.bytes", func() float64 {
 		return float64(ms.read().HeapAlloc)

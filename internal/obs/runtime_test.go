@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestRegisterRuntimeMetrics(t *testing.T) {
 	r := NewRegistry()
@@ -13,6 +16,9 @@ func TestRegisterRuntimeMetrics(t *testing.T) {
 		"runtime.gc.count",
 		"runtime.gc.pause.total.seconds",
 		"runtime.sys.bytes",
+		"runtime.gomaxprocs",
+		"runtime.num_cpu",
+		"process.uptime_seconds",
 	} {
 		if _, ok := snap.Gauges[name]; !ok {
 			t.Fatalf("gauge %q not registered", name)
@@ -24,7 +30,27 @@ func TestRegisterRuntimeMetrics(t *testing.T) {
 	if snap.Gauges["runtime.heap.alloc.bytes"] <= 0 {
 		t.Fatalf("heap alloc = %v, want > 0", snap.Gauges["runtime.heap.alloc.bytes"])
 	}
+	if snap.Gauges["runtime.gomaxprocs"] < 1 || snap.Gauges["runtime.num_cpu"] < 1 {
+		t.Fatalf("cpu gauges = %v / %v, want ≥ 1",
+			snap.Gauges["runtime.gomaxprocs"], snap.Gauges["runtime.num_cpu"])
+	}
+	if up := snap.Gauges["process.uptime_seconds"]; up <= 0 {
+		t.Fatalf("uptime = %v, want > 0", up)
+	}
 	RegisterRuntimeMetrics(nil) // nil-safe
+}
+
+// TestUptimeAdvances: two snapshots straddle a sleep; the uptime gauge must
+// move with the wall clock, not report a frozen registration-time value.
+func TestUptimeAdvances(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	before := r.Snapshot().Gauges["process.uptime_seconds"]
+	time.Sleep(10 * time.Millisecond)
+	after := r.Snapshot().Gauges["process.uptime_seconds"]
+	if after <= before {
+		t.Fatalf("uptime did not advance: %v then %v", before, after)
+	}
 }
 
 // TestMemStatsReaderThrottles pins the stop-the-world budget: repeated

@@ -403,7 +403,7 @@ func TestExemptPathsBypassAdmission(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	for _, path := range []string{"/v1/healthz", "/v1/metrics"} {
+	for _, path := range []string{"/v1/healthz", "/v1/readyz", "/v1/metrics", "/v1/slo"} {
 		t0 := time.Now()
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		rec := httptest.NewRecorder()

@@ -131,6 +131,12 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 		t0 := time.Now()
 		next.ServeHTTP(rw, r)
 		rw.finish()
+		// SLO accounting happens here, at the outermost timing point, so shed
+		// 429s and drain 503s (written by the admission middleware, below the
+		// mux) are debited exactly like handler responses.
+		if !exemptFromLimits(r.URL.Path) {
+			s.recordSLO(rw.statusOrDefault(), time.Since(t0))
+		}
 		if s.logger != nil {
 			s.logger.Printf("method=%s path=%s status=%d bytes=%d dur=%s req_id=%s",
 				r.Method, r.URL.Path, rw.statusOrDefault(), rw.bytes,
@@ -187,12 +193,37 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 }
 
 // exemptFromLimits reports whether a path bypasses the deadline and
-// admission middleware: health checks, metrics scrapes, trace reads and the
-// debug endpoints must stay reachable under overload and during drain — an
-// operator diagnosing a saturated instance needs exactly those.
+// admission middleware: health/readiness checks, metrics scrapes, trace and
+// SLO reads and the debug endpoints must stay reachable under overload and
+// during drain — an operator diagnosing a saturated instance needs exactly
+// those. Exempt paths are also excluded from SLO accounting: a probe is not
+// user traffic.
 func exemptFromLimits(path string) bool {
-	return path == "/v1/healthz" || path == "/v1/metrics" || path == "/v1/traces" ||
+	return path == "/v1/healthz" || path == "/v1/readyz" ||
+		path == "/v1/metrics" || path == "/v1/traces" || path == "/v1/slo" ||
 		strings.HasPrefix(path, "/debug/")
+}
+
+// recordSLO feeds one completed request into the SLO engine. The
+// classification convention (DESIGN.md §13):
+//
+//   - 5xx (500 handler failures, 503 drain rejections, 504 deadline expiry)
+//     is bad — the server failed to serve.
+//   - 429 shed is bad — turning traffic away is a capacity failure from the
+//     client's point of view, and the whole point of the burn-rate gauges is
+//     to make induced shedding visible as budget spend.
+//   - 499 (client vanished) is recorded nowhere: the server cannot be
+//     debited or credited for a request whose outcome the client discarded.
+//   - Everything else — 2xx, 3xx and non-429 4xx — is good: a well-formed
+//     rejection of a malformed request is the server working as specified.
+//
+// Exempt paths (probes, scrapes) never reach here.
+func (s *Server) recordSLO(status int, dur time.Duration) {
+	if status == statusClientClosedRequest {
+		return
+	}
+	ok := status < 500 && status != http.StatusTooManyRequests
+	s.sloEng.Record(dur, ok)
 }
 
 // withDeadline attaches the per-request deadline (WithRequestTimeout) to

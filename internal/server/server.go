@@ -20,9 +20,15 @@
 //	                   → union candidates ranked by semantic-type overlap
 //	GET  /v1/types     → indexed semantic types
 //	GET  /v1/healthz   → liveness + model/vocabulary info
+//	GET  /v1/readyz    → readiness: model loaded and not draining (load
+//	                   balancers gate traffic on this; loadgen waits for it
+//	                   before opening a measured window)
 //	GET  /v1/metrics   → JSON snapshot of the metrics registry: per-stage
 //	                   inference latency histograms, per-route request/
 //	                   error/latency series, encoder cache gauges, spans
+//	GET  /v1/slo       → SLO status: objectives, windowed good/bad counts,
+//	                   remaining error budget and multi-window burn rates
+//	                   (DESIGN.md §13)
 //	GET  /debug/pprof/* (and /debug/vars) when built WithDebug
 //
 // Request bodies are size-capped (http.MaxBytesReader); oversized payloads
@@ -64,8 +70,18 @@ import (
 	"github.com/sematype/pythagoras/internal/infer"
 	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/obs/logz"
+	"github.com/sematype/pythagoras/internal/obs/slo"
 	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/table"
+)
+
+// Default SLO objectives for a server built without WithSLO: three nines of
+// availability, and the same target for requests under 250ms — deliberately
+// modest so an untuned deployment gets meaningful burn-rate signals instead
+// of a permanently-blown budget.
+const (
+	DefaultSLOTarget  = 0.999
+	DefaultSLOLatency = 250 * time.Millisecond
 )
 
 // Body-size caps for POST endpoints. The batch cap is larger because one
@@ -96,6 +112,12 @@ type Server struct {
 	// GET /v1/traces. A default recorder (1% sampling, errored and >1s
 	// traces always kept) is created unless WithTraceRecorder supplies one.
 	recorder *obs.TraceRecorder
+
+	// sloEng classifies every completed non-exempt request into good/bad SLO
+	// events (the access-log middleware feeds it) and answers GET /v1/slo.
+	// A default engine (DefaultSLOTarget/DefaultSLOLatency) is created
+	// unless WithSLO supplies one.
+	sloEng *slo.Engine
 
 	// requestTimeout bounds end-to-end request processing, queue wait
 	// included (0 = unbounded). Expiry surfaces as a JSON 504.
@@ -173,6 +195,14 @@ func WithMaxInflight(n int) Option {
 	return func(s *Server) { s.maxInflight = n }
 }
 
+// WithSLO supplies the SLO engine behind GET /v1/slo (objectives, budget
+// windows, and — for tests — the clock are the engine's). Without this
+// option the server builds a default engine from DefaultSLOTarget and
+// DefaultSLOLatency; `serve -slo-target -slo-latency-ms` configures it.
+func WithSLO(e *slo.Engine) Option {
+	return func(s *Server) { s.sloEng = e }
+}
+
 // WithFaults arms fault-injection points on the serving path — test support
 // for the chaos suite, never set in production (nil disables, the default).
 func WithFaults(fs *faultinject.Set) Option {
@@ -219,6 +249,10 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 			SlowThreshold: time.Second,
 		})
 	}
+	if s.sloEng == nil {
+		s.sloEng = slo.New(slo.DefaultObjectives(DefaultSLOTarget, DefaultSLOLatency))
+	}
+	s.sloEng.Register(s.metrics)
 	s.recorder.Register(s.metrics)
 	obs.RegisterRuntimeMetrics(s.metrics)
 	par.RegisterMetrics(s.metrics)
@@ -245,8 +279,10 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 	s.route("GET /v1/union", s.handleUnion)
 	s.route("GET /v1/types", s.handleTypes)
 	s.route("GET /v1/healthz", s.handleHealthz)
+	s.route("GET /v1/readyz", s.handleReadyz)
 	s.route("GET /v1/metrics", s.handleMetrics)
 	s.route("GET /v1/traces", s.handleTraces)
+	s.route("GET /v1/slo", s.handleSLO)
 	if s.debug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -307,6 +343,9 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // Recorder exposes the server's trace recorder.
 func (s *Server) Recorder() *obs.TraceRecorder { return s.recorder }
+
+// SLO exposes the server's SLO engine.
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
 
 // --- wire types ---
 
@@ -664,6 +703,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"indexed_tables": st.Tables,
 		"indexed_cols":   st.Columns,
 	})
+}
+
+// handleReadyz is the readiness probe, distinct from the liveness probe at
+// /v1/healthz: ready means the model is loaded and the server is not
+// draining — i.e. a request sent now would be admitted rather than turned
+// away. Load balancers gate traffic on it, and loadgen polls it before
+// opening a measured window so warmup never includes a half-started server.
+// Admission-exempt, like the other probe endpoints.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "status": "draining",
+		})
+	case s.model() == nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "status": "no model loaded",
+		})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ready": true, "status": "ready", "types": len(s.model().Types()),
+		})
+	}
+}
+
+// handleSLO serves the SLO engine's status: every objective with its
+// budget-window counts, remaining error budget, and the four burn-rate
+// windows with the fast/slow alert-pair states. The same numbers are
+// exported as gauges through /v1/metrics (slo.* families); this endpoint is
+// the structured report an operator or the load harness reads directly.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sloEng.Status())
 }
 
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
