@@ -39,9 +39,9 @@ vet:
 race:
 	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/... ./internal/obs/... ./internal/loadgen/...
 
-# Total statement coverage at the time the production-hardening PR landed;
-# `make cover` fails if the tree ever drops below it.
-COVER_MIN = 86.8
+# Total statement coverage floor, last raised when the model-lifecycle PR
+# landed; `make cover` fails if the tree ever drops below it.
+COVER_MIN = 87.0
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -57,6 +57,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime 10s ./internal/table/
 	$(GO) test -run '^$$' -fuzz FuzzCSVTable -fuzztime 10s ./internal/table/
 	$(GO) test -run '^$$' -fuzz FuzzTableRequestDecode -fuzztime 10s ./internal/server/
+	$(GO) test -run '^$$' -fuzz FuzzModelsRequestDecode -fuzztime 10s ./internal/server/
 	$(GO) test -run '^$$' -fuzz FuzzModelLoad -fuzztime 10s ./internal/core/
 
 # One quick-scale pass per paper table/figure plus component micro-benches.

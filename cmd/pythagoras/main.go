@@ -284,23 +284,28 @@ func cmdServe(args []string) {
 	sloTarget := fs.Float64("slo-target", server.DefaultSLOTarget, "SLO success-ratio objective in (0,1); budget and burn rates derive from it (see /v1/slo)")
 	sloLatencyMs := fs.Int("slo-latency-ms", int(server.DefaultSLOLatency/time.Millisecond), "latency-objective threshold in milliseconds: slower responses burn the latency SLO budget")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	shadowSample := fs.Float64("shadow-sample", 1, "fraction of live traffic double-scored on a shadowing candidate model (deterministic seeded sampling; see POST /v1/models)")
+	modelsDir := fs.String("models-dir", "", "confine POST /v1/models checkpoint paths to this directory (empty = any readable path)")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 	slog := structuredLogger(*logFormat)
 
-	m, err := core.LoadFile(*modelPath, core.Config{Encoder: buildEncoder(*dim, *layers)})
+	// LoadServing resolves the checkpoint and its optional drift sidecar in
+	// one step — the same path POST /v1/models uses for candidates, so boot
+	// and hot-load cannot disagree about what a serving model is.
+	bundle, err := core.LoadServing(*modelPath, core.Config{Encoder: buildEncoder(*dim, *layers)})
 	if err != nil {
 		log.Fatal(err)
 	}
+	m := bundle.Model
 	eng := infer.New(m, infer.WithWorkers(*workers), infer.WithMetrics(obs.NewRegistry()))
 	// The drift sidecar is optional — a model trained before baselines
 	// existed still serves, just without drift gauges.
-	sidecar := core.DriftSidecarPath(*modelPath)
-	if baseline, err := core.LoadDriftBaseline(sidecar); err == nil {
-		eng.EnableDrift(obs.NewDriftMonitor(baseline))
-		log.Printf("pythagoras: drift baseline loaded from %s (%d observations)", sidecar, baseline.Total())
-	} else if !errors.Is(err, os.ErrNotExist) {
-		log.Printf("pythagoras: drift baseline unusable, serving without drift telemetry: %v", err)
+	if bundle.Drift != nil {
+		eng.EnableDrift(bundle.Drift)
+		log.Printf("pythagoras: drift baseline loaded from %s", core.DriftSidecarPath(*modelPath))
+	} else if bundle.DriftErr != nil {
+		log.Printf("pythagoras: drift baseline unusable, serving without drift telemetry: %v", bundle.DriftErr)
 	}
 	recorder := obs.NewTraceRecorder(obs.TraceConfig{
 		SampleRate: *traceSample, SlowThreshold: *traceSlow, Buffer: *traceBuffer,
@@ -310,6 +315,10 @@ func cmdServe(args []string) {
 		server.WithLogger(log.Default()), server.WithDebug(*debug),
 		server.WithRequestTimeout(*requestTimeout), server.WithMaxInflight(*maxInflight),
 		server.WithTraceRecorder(recorder), server.WithSLO(sloEng),
+		server.WithShadowSample(*shadowSample),
+	}
+	if *modelsDir != "" {
+		opts = append(opts, server.WithModelsDir(*modelsDir))
 	}
 	if slog != nil {
 		opts = append(opts, server.WithLogz(slog.With("component", "server")))

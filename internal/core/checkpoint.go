@@ -130,6 +130,43 @@ func SaveDriftBaseline(path string, b obs.DriftBaseline) error {
 	return f.Close()
 }
 
+// ServingBundle is everything a serving process loads for one model
+// version: the checkpoint itself plus the optional drift sidecar, resolved
+// together so `serve` at startup and the lifecycle manager's POST
+// /v1/models load through one code path.
+type ServingBundle struct {
+	Model *Model
+	Path  string
+	// Drift is the monitor seeded from the checkpoint's sidecar; nil when
+	// no sidecar exists (a model trained before baselines did still serves,
+	// just without drift telemetry).
+	Drift *obs.DriftMonitor
+	// DriftErr is non-nil when a sidecar was present but unusable (corrupt,
+	// future version). The model still serves; callers decide whether to
+	// log or refuse.
+	DriftErr error
+}
+
+// LoadServing loads a checkpoint and its conventional drift sidecar into a
+// running process. Checkpoint problems are errors — a serving process must
+// never swap in a half-loaded model — while sidecar problems degrade to a
+// nil monitor with DriftErr set, because drift telemetry is advisory.
+func LoadServing(path string, cfg Config) (*ServingBundle, error) {
+	m, err := LoadFile(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &ServingBundle{Model: m, Path: path}
+	baseline, err := LoadDriftBaseline(DriftSidecarPath(path))
+	switch {
+	case err == nil:
+		b.Drift = obs.NewDriftMonitor(baseline)
+	case !os.IsNotExist(err):
+		b.DriftErr = err
+	}
+	return b, nil
+}
+
 // LoadDriftBaseline reads a drift baseline sidecar written by
 // SaveDriftBaseline. A sidecar from a future format version returns
 // *UnsupportedVersionError.

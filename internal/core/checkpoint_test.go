@@ -153,6 +153,60 @@ func TestDriftSidecarPath(t *testing.T) {
 	}
 }
 
+// TestLoadServing covers the one-call serving load: checkpoint plus
+// optional sidecar, with the degradation ladder the lifecycle manager
+// depends on — no sidecar serves silently, a broken sidecar serves with
+// DriftErr, a broken checkpoint never serves.
+func TestLoadServing(t *testing.T) {
+	enc := tinyEncoder()
+	cfg := Config{Encoder: enc, GNNLayers: 1, HiddenDim: 32, Seed: 3}
+	m := newModel(cfg, []string{"player.age", "team.name"})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.ckpt")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// No sidecar: model loads, no monitor, no error.
+	b, err := LoadServing(path, Config{Encoder: enc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Drift != nil || b.DriftErr != nil || len(b.Model.Types()) != 2 {
+		t.Fatalf("sidecar-less bundle: %+v", b)
+	}
+
+	// Healthy sidecar: monitor attached.
+	tb := &table.Table{Name: "T", ID: "t1", Columns: []*table.Column{
+		{Header: "age", Kind: table.KindNumeric, NumValues: []float64{21, 34, 28}},
+	}}
+	if err := SaveDriftBaseline(DriftSidecarPath(path), m.ComputeDriftBaseline([]*table.Table{tb})); err != nil {
+		t.Fatal(err)
+	}
+	b, err = LoadServing(path, Config{Encoder: enc})
+	if err != nil || b.Drift == nil || b.DriftErr != nil {
+		t.Fatalf("bundle with sidecar: %+v (err %v)", b, err)
+	}
+
+	// Corrupt sidecar: the model still serves, DriftErr says why there is
+	// no drift telemetry.
+	if err := os.WriteFile(DriftSidecarPath(path), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err = LoadServing(path, Config{Encoder: enc})
+	if err != nil {
+		t.Fatalf("corrupt sidecar must not fail the load: %v", err)
+	}
+	if b.Drift != nil || b.DriftErr == nil {
+		t.Fatalf("corrupt-sidecar bundle: %+v", b)
+	}
+
+	// Broken checkpoint: fatal, regardless of sidecar state.
+	if _, err := LoadServing(filepath.Join(dir, "missing.ckpt"), Config{Encoder: enc}); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing checkpoint err = %v, want ErrNotExist", err)
+	}
+}
+
 // TestDriftBaselineSaveErrors: unwritable paths surface as errors instead
 // of silent telemetry loss.
 func TestDriftBaselineSaveErrors(t *testing.T) {

@@ -39,6 +39,19 @@ const (
 	InferDecode Point = "infer.decode"
 	// ServerHandle fires once per admitted HTTP request, before the mux.
 	ServerHandle Point = "server.handle"
+	// ServerModelLoad fires inside POST /v1/models, after the request is
+	// validated and before the checkpoint is read — an injected error is a
+	// deterministic stand-in for a corrupt or vanished checkpoint file.
+	ServerModelLoad Point = "server.model.load"
+	// ServerSwap fires inside promote and rollback, after the serving
+	// pointer has moved and before the outgoing engine is retired — the
+	// window the swap-under-fire chaos suite stretches with injected
+	// latency while traffic is in flight.
+	ServerSwap Point = "server.swap"
+	// ServerShadow fires at the start of every shadow-scoring task, on the
+	// shadow goroutine — injected latency or errors there must never be
+	// observable on the primary serving path.
+	ServerShadow Point = "server.shadow"
 	// TrainPrepare fires once per table in the trainer's prepare stage.
 	TrainPrepare Point = "train.prepare"
 	// TrainStep fires once per optimizer step, before the data-parallel

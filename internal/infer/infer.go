@@ -39,6 +39,7 @@ package infer
 import (
 	"context"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"github.com/sematype/pythagoras/internal/core"
@@ -72,6 +73,13 @@ type Engine struct {
 	// each stage boundary (DESIGN.md §9). Nil — always, outside tests —
 	// costs one branch per stage.
 	faults *faultinject.Set
+
+	// Lease refcount for zero-downtime swaps (lifecycle.go): refs starts at
+	// 1 (the owner's reference), Acquire/Release bracket each request, and
+	// Retire drops the owner's reference so the engine drains and dies.
+	refs      atomic.Int64
+	retired   atomic.Bool
+	onDrained atomic.Pointer[func()]
 }
 
 // Option configures an Engine.
@@ -101,6 +109,7 @@ func New(m *core.Model, opts ...Option) *Engine {
 	if e.maxBatch < 1 {
 		e.maxBatch = 16
 	}
+	e.refs.Store(1) // the owner's reference; Retire gives it up
 	return e
 }
 

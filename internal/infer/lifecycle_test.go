@@ -1,0 +1,138 @@
+package infer
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// leaseEngine builds a bare engine for lifecycle tests — the refcount does
+// not care whether a model is attached.
+func leaseEngine() *Engine { return New(nil, WithWorkers(2)) }
+
+func TestAcquireReleaseLifecycle(t *testing.T) {
+	e := leaseEngine()
+	if got := e.Refs(); got != 1 {
+		t.Fatalf("fresh engine refs = %d, want 1 (owner)", got)
+	}
+	if !e.Acquire() {
+		t.Fatal("Acquire on a live engine failed")
+	}
+	if got := e.Refs(); got != 2 {
+		t.Fatalf("refs after Acquire = %d, want 2", got)
+	}
+	e.Release()
+	if got := e.Refs(); got != 1 {
+		t.Fatalf("refs after Release = %d, want 1", got)
+	}
+}
+
+func TestRetireDrainsAndRefusesNewLeases(t *testing.T) {
+	e := leaseEngine()
+	if !e.Acquire() {
+		t.Fatal("Acquire failed")
+	}
+	var drained atomic.Int32
+	e.Retire(func() { drained.Add(1) })
+	if e.Acquire() {
+		t.Fatal("Acquire succeeded after Retire")
+	}
+	if drained.Load() != 0 {
+		t.Fatal("drained callback ran with a lease outstanding")
+	}
+	if !e.Retired() {
+		t.Fatal("Retired() = false after Retire")
+	}
+	e.Release() // last lease out
+	if drained.Load() != 1 {
+		t.Fatalf("drained callback ran %d times, want 1", drained.Load())
+	}
+	if e.Acquire() {
+		t.Fatal("Acquire resurrected a drained engine")
+	}
+}
+
+func TestRetireWithNoLeasesDrainsImmediately(t *testing.T) {
+	e := leaseEngine()
+	var drained atomic.Int32
+	e.Retire(func() { drained.Add(1) })
+	if drained.Load() != 1 {
+		t.Fatalf("drained callback ran %d times, want 1 (no leases outstanding)", drained.Load())
+	}
+}
+
+func TestRetireNilCallback(t *testing.T) {
+	e := leaseEngine()
+	e.Retire(nil) // must not panic
+	if e.Refs() != 0 {
+		t.Fatalf("refs = %d, want 0", e.Refs())
+	}
+}
+
+// TestLeaseRace hammers Acquire/Release from many goroutines while Retire
+// fires mid-storm: the drained callback must run exactly once, refs must
+// settle at zero, and no Acquire may succeed after the drain completes.
+// Run under -race by `make race`.
+func TestLeaseRace(t *testing.T) {
+	const goroutines = 16
+	const iters = 400
+	e := leaseEngine()
+	var drained atomic.Int32
+	var acquired, postDrainAcquire atomic.Int64
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < iters; i++ {
+				if e.Acquire() {
+					acquired.Add(1)
+					if drained.Load() > 0 {
+						// A lease granted strictly after the drain callback
+						// ran means the refcount resurrected.
+						postDrainAcquire.Add(1)
+					}
+					e.Release()
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		// Let the storm land some leases first — retiring before anyone
+		// acquired would prove nothing about draining under contention.
+		// Before Retire every Acquire succeeds, so this loop terminates.
+		for acquired.Load() < goroutines {
+			runtime.Gosched()
+		}
+		e.Retire(func() { drained.Add(1) })
+	}()
+	close(start)
+	wg.Wait()
+
+	if got := drained.Load(); got != 1 {
+		t.Fatalf("drained callback ran %d times, want exactly 1", got)
+	}
+	if got := e.Refs(); got != 0 {
+		t.Fatalf("refs settled at %d, want 0", got)
+	}
+	if got := postDrainAcquire.Load(); got != 0 {
+		t.Fatalf("%d leases were granted after the drain completed", got)
+	}
+	if acquired.Load() == 0 {
+		t.Fatal("no goroutine ever held a lease — test proved nothing")
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	e := New(nil, WithWorkers(3), WithMaxBatch(7))
+	if e.Workers() != 3 || e.MaxBatch() != 7 {
+		t.Fatalf("accessors = (%d, %d), want (3, 7)", e.Workers(), e.MaxBatch())
+	}
+}

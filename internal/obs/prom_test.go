@@ -29,6 +29,20 @@ func goldenRegistry() *Registry {
 	for _, v := range []float64{0.1, 0.6, 0.6, 0.9, 1.5} {
 		h.Observe(v)
 	}
+	// The per-model shadow-rollout series the server's lifecycle manager
+	// emits: labeled counters, a labeled histogram, a derived gauge, and the
+	// swap event counter — pinned here so the exposition shape scrapers
+	// depend on cannot drift.
+	r.Counter(Labels("shadow.tables.scored", "model", "v2")).Add(9)
+	r.Counter(Labels("shadow.columns.compared", "model", "v2")).Add(18)
+	r.Counter(Labels("shadow.columns.agree", "model", "v2")).Add(17)
+	r.GaugeFunc(Labels("shadow.agreement.rate", "model", "v2"), func() float64 { return 17.0 / 18.0 })
+	sh := r.Histogram(Labels("shadow.latency.seconds", "model", "v2"), []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.004, 0.02, 0.03} {
+		sh.Observe(v)
+	}
+	r.Counter(Labels("models.swap", "event", "promote")).Inc()
+	r.Counter(Labels("models.swap", "event", "rollback")).Inc()
 	return r
 }
 

@@ -104,6 +104,20 @@ type objective struct {
 	badTotal  *obs.Counter
 }
 
+// maxAnnotations bounds the lifecycle-event ring: old deploys scroll off,
+// the engine never grows without bound.
+const maxAnnotations = 64
+
+// Annotation marks a deployment-lifecycle event (model load, promote,
+// rollback) on the SLO timeline. Burn-rate excursions are only actionable
+// when an operator can line them up with what changed; carrying the events
+// in the same report as the budget numbers makes the join trivial.
+type Annotation struct {
+	Time   time.Time `json:"time"`
+	Event  string    `json:"event"`
+	Detail string    `json:"detail,omitempty"`
+}
+
 // Engine classifies request events against a set of objectives and answers
 // window queries. One mutex guards the rings: Record is one lock + two adds
 // per objective, far off the inference hot path's allocation-free standards
@@ -111,6 +125,7 @@ type objective struct {
 type Engine struct {
 	mu    sync.Mutex
 	objs  []*objective
+	notes []Annotation // lifecycle events, oldest first, capped
 	now   func() time.Time
 	width time.Duration
 }
@@ -248,6 +263,24 @@ type ObjectiveStatus struct {
 // Status is the body of GET /v1/slo.
 type Status struct {
 	Objectives []ObjectiveStatus `json:"objectives"`
+	// Events are the lifecycle annotations recorded with Annotate, oldest
+	// first — the deploy markers a burn-rate chart is read against.
+	Events []Annotation `json:"events,omitempty"`
+}
+
+// Annotate records a lifecycle event (timestamped by the engine's clock) on
+// the SLO timeline; the most recent maxAnnotations are reported by Status.
+// Nil-safe, like Record.
+func (e *Engine) Annotate(event, detail string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.notes = append(e.notes, Annotation{Time: e.now(), Event: event, Detail: detail})
+	if len(e.notes) > maxAnnotations {
+		e.notes = append(e.notes[:0], e.notes[len(e.notes)-maxAnnotations:]...)
+	}
+	e.mu.Unlock()
 }
 
 // burnWindows pairs the canonical window labels with their durations, in
@@ -301,6 +334,7 @@ func (e *Engine) Status() Status {
 		os.SlowBurnAlert = rates["30m"] > SlowBurnThreshold && rates["6h"] > SlowBurnThreshold
 		st.Objectives = append(st.Objectives, os)
 	}
+	st.Events = append(st.Events, e.notes...)
 	return st
 }
 

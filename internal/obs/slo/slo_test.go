@@ -282,6 +282,41 @@ func TestRegisterExportsGauges(t *testing.T) {
 	}
 }
 
+// TestAnnotateTimeline: lifecycle annotations land on Status in order,
+// stamped by the engine clock, the ring stays bounded, and a nil engine
+// swallows them — the server calls Annotate unconditionally on swaps.
+func TestAnnotateTimeline(t *testing.T) {
+	e, clk := testEngine(0.999)
+	e.Annotate("load", `candidate "v2"`)
+	clk.Advance(time.Minute)
+	e.Annotate("promote", `"v2" over "boot"`)
+	st := e.Status()
+	if len(st.Events) != 2 {
+		t.Fatalf("events = %d, want 2: %+v", len(st.Events), st.Events)
+	}
+	if st.Events[0].Event != "load" || st.Events[1].Event != "promote" {
+		t.Fatalf("event order: %+v", st.Events)
+	}
+	if !st.Events[1].Time.After(st.Events[0].Time) {
+		t.Fatalf("annotations not clock-stamped: %v then %v", st.Events[0].Time, st.Events[1].Time)
+	}
+	if st.Events[1].Detail != `"v2" over "boot"` {
+		t.Fatalf("detail lost: %+v", st.Events[1])
+	}
+	// The ring keeps only the newest maxAnnotations.
+	for i := 0; i < maxAnnotations+10; i++ {
+		e.Annotate("spam", "")
+	}
+	if got := len(e.Status().Events); got != maxAnnotations {
+		t.Fatalf("ring grew to %d, want cap %d", got, maxAnnotations)
+	}
+	var nilEng *Engine
+	nilEng.Annotate("load", "dropped") // must not panic
+	if st := nilEng.Status(); len(st.Events) != 0 {
+		t.Fatalf("nil engine recorded events: %+v", st.Events)
+	}
+}
+
 // TestStatusJSONShape pins the /v1/slo wire shape.
 func TestStatusJSONShape(t *testing.T) {
 	e, _ := testEngine(0.999)

@@ -36,9 +36,9 @@ var (
 	chaosMdl  *core.Model
 )
 
-// chaosServer builds a server around a fault-armed engine. engFaults fires
-// inside inference stages, srvFaults at request admission.
-func chaosServer(t *testing.T, engFaults, srvFaults *faultinject.Set, opts ...Option) *Server {
+// chaosModel returns the one small model shared by the chaos and lifecycle
+// suites, training it on first use.
+func chaosModel(t *testing.T) *core.Model {
 	t.Helper()
 	chaosOnce.Do(func() {
 		c := data.GenerateSportsTables(data.SportsConfig{
@@ -57,7 +57,14 @@ func chaosServer(t *testing.T, engFaults, srvFaults *faultinject.Set, opts ...Op
 	if chaosMdl == nil {
 		t.Fatal("chaos model training failed")
 	}
-	eng := infer.New(chaosMdl, infer.WithWorkers(2), infer.WithFaults(engFaults))
+	return chaosMdl
+}
+
+// chaosServer builds a server around a fault-armed engine. engFaults fires
+// inside inference stages, srvFaults at request admission.
+func chaosServer(t *testing.T, engFaults, srvFaults *faultinject.Set, opts ...Option) *Server {
+	t.Helper()
+	eng := infer.New(chaosModel(t), infer.WithWorkers(2), infer.WithFaults(engFaults))
 	opts = append(opts, WithFaults(srvFaults))
 	return NewWithEngine(eng, 0, opts...)
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/sematype/pythagoras/internal/table"
@@ -74,6 +76,60 @@ func FuzzTableRequestDecode(f *testing.F) {
 		}
 		if err := tbl.Validate(); err != nil {
 			t.Fatalf("accepted request fails table validation: %v", err)
+		}
+	})
+}
+
+// FuzzModelsRequestDecode drives arbitrary bytes through the POST /v1/models
+// control-plane decode — the same strict decodeJSONBody contract as the data
+// plane, with the smaller body cap — and, for any accepted request, through
+// the models-dir path confinement. The invariants: rejections are well-formed
+// JSON client errors, and no accepted path ever resolves outside a configured
+// models directory.
+func FuzzModelsRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"id":"v2","path":"candidate.bin"}`))
+	f.Add([]byte(`{"path":"models/v2.bin"}`))
+	f.Add([]byte(`{"path":"/etc/passwd"}`))
+	f.Add([]byte(`{"path":"../../escape.bin"}`))
+	f.Add([]byte(`{"path":""}`))
+	f.Add([]byte(`{"id":"x"}`))
+	f.Add([]byte(`{"id":"v2","path":"a.bin"}trailing`))
+	f.Add([]byte(`{"unknown":"field"}`))
+	f.Add([]byte(`{"path":"a.bin","path":"b.bin"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/models", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		var mr ModelsRequest
+		if !decodeJSONBody(rec, req, maxModelsBodyBytes, &mr) {
+			if rec.Code != http.StatusBadRequest && rec.Code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("rejection wrote status %d", rec.Code)
+			}
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("rejection body is not a JSON error: %q", rec.Body)
+			}
+			return
+		}
+		if rec.Body.Len() != 0 {
+			t.Fatalf("accepting decode wrote a response: %q", rec.Body)
+		}
+		// Path confinement: whatever decoded, a confined server must never
+		// resolve a path outside its models directory.
+		confined := &Server{modelsDir: filepath.Join("some", "models")}
+		resolved, err := confined.resolveModelPath(mr.Path)
+		if err != nil {
+			return // rejected before touching the filesystem — fine
+		}
+		rel, relErr := filepath.Rel(confined.modelsDir, resolved)
+		if relErr != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) || filepath.IsAbs(rel) {
+			t.Fatalf("path %q resolved outside the models dir: %q", mr.Path, resolved)
+		}
+		// Unconfined resolution only rejects empty paths.
+		open := &Server{}
+		if _, err := open.resolveModelPath(mr.Path); (err != nil) != (mr.Path == "") {
+			t.Fatalf("unconfined resolve(%q) err=%v", mr.Path, err)
 		}
 	})
 }

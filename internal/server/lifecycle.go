@@ -1,0 +1,502 @@
+// Model lifecycle management: zero-downtime multi-model serving with shadow
+// rollout (DESIGN.md §14).
+//
+// The server holds its serving engine behind an atomic pointer. Operators
+// drive a small state machine over three endpoints:
+//
+//	POST /v1/models          load a candidate checkpoint (versioned
+//	                         PYTHCKPT header + drift sidecar) into a second
+//	                         engine → state "shadowing"
+//	POST /v1/models/promote  candidate becomes primary; the old primary is
+//	                         parked as the rollback target
+//	POST /v1/models/rollback discard a candidate, or restore the parked
+//	                         previous primary
+//	GET  /v1/models          report the state machine: per-slot id, path,
+//	                         lease counts, shadow telemetry totals
+//
+// While a candidate is shadowing, a deterministic seeded sample of live
+// predict / predict-batch traffic is double-scored on it — after the
+// primary response is written, on a separate goroutine, so the serving path
+// is byte-identical with shadowing on or off (proved by the bit-identity
+// test). Each shadow score records per-model obs.Labels telemetry:
+// candidate latency, confidence distribution, drift-vs-baseline χ² (from
+// the candidate's own sidecar), and the per-column agreement rate between
+// primary and candidate — the evidence an operator reads before promoting.
+//
+// Swaps never drop in-flight requests: every request takes a lease on the
+// engine it reads from the pointer (infer.Engine.Acquire/Release), and a
+// swapped-out engine is retired, draining via refcount before its release
+// is logged. Promote and rollback build a fresh engine around the surviving
+// model rather than mutating a live one, so engine configuration
+// (instrumentation, worker counts) is immutable for an engine's lifetime.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/infer"
+	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/obs/logz"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// maxModelsBodyBytes caps the POST /v1/models control-plane body — it names
+// a checkpoint, it does not carry one.
+const maxModelsBodyBytes = 1 << 20
+
+// errNoModel is returned by the lease helpers when no model is loaded (or,
+// transiently impossible in practice, every pointer read raced a retire).
+var errNoModel = errors.New("no model loaded")
+
+// modelSlot binds one loaded model version to the engine serving it.
+// Slots are immutable once published through an atomic pointer: every
+// lifecycle transition publishes a new slot and retires the old slot's
+// engine. The model itself is shared across a version's slots (a rollback
+// re-engines the parked model, it does not re-read the checkpoint).
+type modelSlot struct {
+	id       string
+	path     string // checkpoint path, "" for the boot-time model
+	model    *core.Model
+	engine   *infer.Engine
+	drift    *obs.DriftMonitor // per-model monitor from the sidecar; may be nil
+	loadedAt time.Time
+	mx       *slotMetrics
+}
+
+// slotMetrics are one model id's pre-resolved labeled telemetry handles.
+// Counters are cumulative per id — reloading the same id continues its
+// series, which is what an operator comparing attempts wants.
+type slotMetrics struct {
+	scored     *obs.Counter   // shadow.tables.scored{model=}
+	errors     *obs.Counter   // shadow.errors{model=}
+	compared   *obs.Counter   // shadow.columns.compared{model=}
+	agree      *obs.Counter   // shadow.columns.agree{model=}
+	latency    *obs.Histogram // shadow.latency.seconds{model=}
+	confidence *obs.Histogram // shadow.confidence{model=}
+}
+
+// newSlotMetrics resolves the labeled per-model series for id and registers
+// the derived agreement-rate gauge. Safe to call repeatedly for one id.
+func (s *Server) newSlotMetrics(id string) *slotMetrics {
+	l := func(name string) string { return obs.Labels(name, "model", id) }
+	mx := &slotMetrics{
+		scored:     s.metrics.Counter(l("shadow.tables.scored")),
+		errors:     s.metrics.Counter(l("shadow.errors")),
+		compared:   s.metrics.Counter(l("shadow.columns.compared")),
+		agree:      s.metrics.Counter(l("shadow.columns.agree")),
+		latency:    s.metrics.Histogram(l("shadow.latency.seconds"), nil),
+		confidence: s.metrics.Histogram(l("shadow.confidence"), obs.ConfidenceBuckets),
+	}
+	compared, agree := mx.compared, mx.agree
+	s.metrics.GaugeFunc(l("shadow.agreement.rate"), func() float64 {
+		c := compared.Value()
+		if c == 0 {
+			return 0
+		}
+		return float64(agree.Value()) / float64(c)
+	})
+	return mx
+}
+
+// leasePrimary reads the primary pointer and takes a lease on its engine.
+// An Acquire can only fail when the slot was swapped out and fully drained
+// between the pointer read and the CAS — re-reading the pointer then finds
+// the replacement, so the loop converges in one extra iteration; the bound
+// is pure paranoia.
+func (s *Server) leasePrimary() (*modelSlot, bool) {
+	for i := 0; i < 64; i++ {
+		slot := s.primary.Load()
+		if slot == nil {
+			return nil, false
+		}
+		if slot.engine.Acquire() {
+			return slot, true
+		}
+	}
+	return nil, false
+}
+
+// newServingEngine builds a fresh engine around m with the serving
+// configuration cloned from the boot engine: same worker fan-out and batch
+// bound, the server's fault set (so chaos suites reach lifecycle-created
+// engines), and — for primary-role engines only — the shared metrics
+// registry. Shadow engines stay uninstrumented: candidate scoring must not
+// pollute the primary's infer.* series; the shadow path records its own
+// per-model labeled telemetry instead.
+func (s *Server) newServingEngine(m *core.Model, instrumented bool) *infer.Engine {
+	opts := []infer.Option{
+		infer.WithWorkers(s.engineWorkers),
+		infer.WithMaxBatch(s.engineMaxBatch),
+		infer.WithFaults(s.faults),
+	}
+	eng := infer.New(m, opts...)
+	if instrumented {
+		eng.EnableMetrics(s.metrics)
+	}
+	return eng
+}
+
+// retireSlot retires a slot's engine: in-flight leases drain via refcount,
+// then the drained callback records the release. role names what the engine
+// was doing, for the log line.
+func (s *Server) retireSlot(slot *modelSlot, role string) {
+	if slot == nil || slot.engine == nil {
+		return
+	}
+	id := slot.id
+	drained := s.drained
+	logger, slog := s.logger, s.slog
+	slot.engine.Retire(func() {
+		drained.Inc()
+		if logger != nil {
+			logger.Printf("models: %s engine for %q drained and released", role, id)
+		}
+		slog.Log(logz.Info, "model engine drained", "model", id, "role", role)
+	})
+}
+
+// recordSwap counts a lifecycle event under models.swap{event=}, annotates
+// the SLO timeline, and logs it.
+func (s *Server) recordSwap(event, detail string) {
+	s.metrics.Counter(obs.Labels("models.swap", "event", event)).Inc()
+	s.sloEng.Annotate(event, detail)
+	if s.logger != nil {
+		s.logger.Printf("models: %s %s", event, detail)
+	}
+	s.slog.Log(logz.Info, "model "+event, "detail", detail)
+}
+
+// --- deterministic shadow sampling ---
+
+// splitmix64 is the SplitMix64 finalizer — the same mixer the trainer and
+// trace recorder use for seeded determinism.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// shadowSampled decides, deterministically from the shadow seed and a
+// per-decision sequence number, whether this request's tables are
+// double-scored on the candidate. No global RNG, no lock: the same request
+// sequence against the same seed samples identically on every run, which is
+// what makes shadow behavior reproducible in tests and incident forensics.
+func (s *Server) shadowSampled() bool {
+	switch {
+	case s.shadowSample <= 0:
+		return false
+	case s.shadowSample >= 1:
+		return true
+	}
+	u := float64(splitmix64(s.shadowSeed+s.shadowSeq.Add(1))>>11) / float64(1 << 53)
+	return u < s.shadowSample
+}
+
+// maybeShadow double-scores one served request's tables on the candidate,
+// when one is shadowing and the deterministic sampler selects the request.
+// Called strictly after the primary response has been written: the shadow
+// work runs on its own goroutine, against its own context, holding its own
+// lease on the candidate engine — nothing it does (slow scoring, candidate
+// errors, injected faults) can reach back into the serving path. The
+// goroutine is tracked in shadowWG so Shutdown and the lifecycle tests can
+// prove none leak.
+func (s *Server) maybeShadow(ts []*table.Table, primary [][]core.ColumnPrediction) {
+	cand := s.candidate.Load()
+	if cand == nil || !s.shadowSampled() {
+		return
+	}
+	if !cand.engine.Acquire() {
+		return // candidate discarded between pointer read and lease
+	}
+	s.shadowWG.Add(1)
+	go func() {
+		defer s.shadowWG.Done()
+		defer cand.engine.Release()
+		s.shadowScore(cand, ts, primary)
+	}()
+}
+
+// shadowScore runs the candidate over the sampled tables and records the
+// per-model comparison telemetry. Errors (including injected ServerShadow
+// faults) are counted, never propagated — the request they shadowed has
+// long been answered.
+func (s *Server) shadowScore(cand *modelSlot, ts []*table.Table, primary [][]core.ColumnPrediction) {
+	ctx := context.Background()
+	if err := s.faults.Fire(ctx, faultinject.ServerShadow); err != nil {
+		cand.mx.errors.Inc()
+		return
+	}
+	t0 := time.Now()
+	out, err := cand.engine.PredictBatchCtx(ctx, ts)
+	cand.mx.latency.Since(t0)
+	if err != nil {
+		cand.mx.errors.Inc()
+		return
+	}
+	cand.mx.scored.Add(uint64(len(ts)))
+	for i := range out {
+		var pp []core.ColumnPrediction
+		if i < len(primary) {
+			pp = primary[i]
+		}
+		for j := range out[i] {
+			p := &out[i][j]
+			cand.mx.confidence.Observe(p.Confidence)
+			cand.drift.Observe(p.Type, p.Confidence) // nil-safe
+			if j < len(pp) {
+				cand.mx.compared.Inc()
+				if pp[j].Type == p.Type {
+					cand.mx.agree.Inc()
+				}
+			}
+		}
+	}
+}
+
+// --- wire types ---
+
+// ModelsRequest is the body of POST /v1/models.
+type ModelsRequest struct {
+	// ID names the candidate in telemetry labels and lifecycle responses.
+	// Defaults to the checkpoint's base name without extension.
+	ID string `json:"id,omitempty"`
+	// Path locates the checkpoint. With a configured models directory
+	// (serve -models-dir) it must be a relative path inside it; without
+	// one, any path the process can read.
+	Path string `json:"path"`
+}
+
+// SlotStatus describes one lifecycle slot in GET /v1/models.
+type SlotStatus struct {
+	ID       string    `json:"id"`
+	Path     string    `json:"path,omitempty"`
+	LoadedAt time.Time `json:"loaded_at"`
+	Types    int       `json:"types"`
+	Leases   int64     `json:"leases"`  // current engine lease count (owner included until retire)
+	Retired  bool      `json:"retired"` // engine swapped out, draining or drained
+	Drift    bool      `json:"drift"`   // per-model drift baseline loaded
+}
+
+// ModelsResponse is the body of GET /v1/models and the lifecycle POSTs.
+type ModelsResponse struct {
+	State     string      `json:"state"` // serving | shadowing | promoted | rolled-back
+	Primary   *SlotStatus `json:"primary,omitempty"`
+	Candidate *SlotStatus `json:"candidate,omitempty"`
+	Previous  *SlotStatus `json:"previous,omitempty"`
+	// ShadowSample is the configured sampling fraction of live traffic
+	// double-scored on a shadowing candidate.
+	ShadowSample float64 `json:"shadow_sample"`
+}
+
+func slotStatus(slot *modelSlot) *SlotStatus {
+	if slot == nil {
+		return nil
+	}
+	st := &SlotStatus{
+		ID:       slot.id,
+		Path:     slot.path,
+		LoadedAt: slot.loadedAt,
+		Leases:   slot.engine.Refs(),
+		Retired:  slot.engine.Retired(),
+		Drift:    slot.drift != nil,
+	}
+	if slot.model != nil {
+		st.Types = len(slot.model.Types())
+	}
+	return st
+}
+
+// modelsResponse assembles the current state machine view. Callers hold
+// lcMu (the POST handlers) or accept a racy-but-consistent snapshot (GET).
+func (s *Server) modelsResponse(state string) ModelsResponse {
+	return ModelsResponse{
+		State:        state,
+		Primary:      slotStatus(s.primary.Load()),
+		Candidate:    slotStatus(s.candidate.Load()),
+		Previous:     slotStatus(s.previous.Load()),
+		ShadowSample: s.shadowSample,
+	}
+}
+
+// resolveModelPath validates and resolves a requested checkpoint path
+// against the configured models directory. With no directory configured the
+// path is trusted as given (the operator runs the process; the API is not
+// exposed beyond them) — with one, only local relative paths inside it are
+// accepted, so a compromised catalog tool cannot walk the filesystem.
+func (s *Server) resolveModelPath(req string) (string, error) {
+	if req == "" {
+		return "", fmt.Errorf("path is required")
+	}
+	if s.modelsDir == "" {
+		return req, nil
+	}
+	if filepath.IsAbs(req) || !filepath.IsLocal(req) {
+		return "", fmt.Errorf("path %q must be relative inside the models directory", req)
+	}
+	return filepath.Join(s.modelsDir, req), nil
+}
+
+// handleModelsLoad is POST /v1/models: load a candidate checkpoint into a
+// shadow engine. A failed load changes nothing — the primary keeps serving
+// and /v1/readyz stays ready (regression-tested). A second load replaces
+// the previous candidate, which drains and releases.
+func (s *Server) handleModelsLoad(w http.ResponseWriter, r *http.Request) {
+	var req ModelsRequest
+	if !decodeJSONBody(w, r, maxModelsBodyBytes, &req) {
+		return
+	}
+	path, err := s.resolveModelPath(req.Path)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	prim := s.primary.Load()
+	if prim == nil || prim.model == nil {
+		writeErr(w, http.StatusConflict, "no primary model to inherit an encoder from")
+		return
+	}
+	if err := s.faults.Fire(r.Context(), faultinject.ServerModelLoad); err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "load model %q: %v", path, err)
+		return
+	}
+	bundle, err := core.LoadServing(path, core.Config{Encoder: prim.model.Encoder()})
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, "load model %q: %v", path, err)
+		return
+	}
+	if bundle.DriftErr != nil && s.logger != nil {
+		s.logger.Printf("models: candidate %q drift sidecar unusable, shadowing without drift telemetry: %v", id, bundle.DriftErr)
+	}
+
+	slot := &modelSlot{
+		id:       id,
+		path:     path,
+		model:    bundle.Model,
+		engine:   s.newServingEngine(bundle.Model, false),
+		drift:    bundle.Drift,
+		loadedAt: time.Now(),
+		mx:       s.newSlotMetrics(id),
+	}
+	slot.drift.RegisterLabeled(s.metrics, "model", id) // nil-safe
+	if old := s.candidate.Swap(slot); old != nil {
+		s.retireSlot(old, "shadow")
+	}
+	s.recordSwap("load", fmt.Sprintf("candidate %q from %s", id, path))
+	writeJSON(w, http.StatusOK, s.modelsResponse("shadowing"))
+}
+
+// handleModelsStatus is GET /v1/models.
+func (s *Server) handleModelsStatus(w http.ResponseWriter, r *http.Request) {
+	state := "serving"
+	if s.candidate.Load() != nil {
+		state = "shadowing"
+	}
+	writeJSON(w, http.StatusOK, s.modelsResponse(state))
+}
+
+// handleModelsPromote is POST /v1/models/promote: the shadowing candidate
+// becomes primary. The serving pointer moves first — requests admitted from
+// this instant run on the candidate's model behind a freshly instrumented
+// engine — then the outgoing engines retire and drain via refcount; no
+// in-flight request on the old primary (or old shadow scores on the
+// candidate's shadow engine) is dropped. The demoted primary is parked as
+// the rollback target.
+func (s *Server) handleModelsPromote(w http.ResponseWriter, r *http.Request) {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	cand := s.candidate.Load()
+	if cand == nil {
+		writeErr(w, http.StatusConflict, "no candidate is shadowing")
+		return
+	}
+	promoted := &modelSlot{
+		id:       cand.id,
+		path:     cand.path,
+		model:    cand.model,
+		engine:   s.newServingEngine(cand.model, true),
+		drift:    cand.drift,
+		loadedAt: cand.loadedAt,
+		mx:       cand.mx,
+	}
+	// The promoted model's monitor also takes over the unlabeled drift.*
+	// gauges, which always describe the current primary.
+	promoted.drift.Register(s.metrics)
+
+	old := s.primary.Swap(promoted)
+	s.candidate.Store(nil)
+	if err := s.faults.Fire(r.Context(), faultinject.ServerSwap); err != nil {
+		// The swap is already visible; an injected fault here models a slow
+		// or crashing swap epilogue, not a failed swap.
+		s.slog.Log(logz.Warn, "swap fault injected", "err", err.Error())
+	}
+	s.retireSlot(cand, "shadow")
+	if prev := s.previous.Swap(old); prev != nil {
+		// An older rollback target exists; promoting again abandons it.
+		s.retireSlot(prev, "parked")
+	}
+	s.retireSlot(old, "primary")
+	s.recordSwap("promote", fmt.Sprintf("%q promoted over %q", promoted.id, old.id))
+	writeJSON(w, http.StatusOK, s.modelsResponse("promoted"))
+}
+
+// handleModelsRollback is POST /v1/models/rollback. Two meanings, by state:
+// a shadowing candidate is discarded (shadow scoring drains, primary
+// untouched); with no candidate, the parked previous primary is restored
+// behind a fresh engine and the rolled-back-from model retires. With
+// neither, 409.
+func (s *Server) handleModelsRollback(w http.ResponseWriter, r *http.Request) {
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
+	if cand := s.candidate.Swap(nil); cand != nil {
+		s.retireSlot(cand, "shadow")
+		s.recordSwap("rollback", fmt.Sprintf("candidate %q discarded", cand.id))
+		writeJSON(w, http.StatusOK, s.modelsResponse("rolled-back"))
+		return
+	}
+	prev := s.previous.Swap(nil)
+	if prev == nil {
+		writeErr(w, http.StatusConflict, "nothing to roll back: no candidate and no previous primary")
+		return
+	}
+	restored := &modelSlot{
+		id:       prev.id,
+		path:     prev.path,
+		model:    prev.model,
+		engine:   s.newServingEngine(prev.model, true),
+		drift:    prev.drift,
+		loadedAt: time.Now(),
+		mx:       prev.mx,
+	}
+	restored.drift.Register(s.metrics)
+	old := s.primary.Swap(restored)
+	if err := s.faults.Fire(r.Context(), faultinject.ServerSwap); err != nil {
+		s.slog.Log(logz.Warn, "swap fault injected", "err", err.Error())
+	}
+	s.retireSlot(old, "primary")
+	s.recordSwap("rollback", fmt.Sprintf("%q restored over %q", restored.id, old.id))
+	writeJSON(w, http.StatusOK, s.modelsResponse("rolled-back"))
+}

@@ -89,7 +89,7 @@ func TestServerAdoptsEngineRegistry(t *testing.T) {
 	if s.Metrics() != reg {
 		t.Fatal("server ignored WithMetrics registry")
 	}
-	if s.engine.Metrics() != reg {
+	if s.primaryEngine().Metrics() != reg {
 		t.Fatal("engine not wired to the server registry")
 	}
 }

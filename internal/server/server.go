@@ -29,6 +29,10 @@
 //	GET  /v1/slo       → SLO status: objectives, windowed good/bad counts,
 //	                   remaining error budget and multi-window burn rates
 //	                   (DESIGN.md §13)
+//	POST /v1/models    load a candidate checkpoint for shadow scoring;
+//	GET  /v1/models    with POST /v1/models/promote and /rollback these
+//	                   drive the zero-downtime model lifecycle state
+//	                   machine (lifecycle.go, DESIGN.md §14)
 //	GET  /debug/pprof/* (and /debug/vars) when built WithDebug
 //
 // Request bodies are size-capped (http.MaxBytesReader); oversized payloads
@@ -61,6 +65,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -97,9 +102,38 @@ const (
 // per-route error counters.
 const statusClientClosedRequest = 499
 
+// defaultShadowSeed seeds the deterministic shadow sampler when
+// WithShadowSeed is not given. Any fixed value works — determinism, not
+// unpredictability, is the point.
+const defaultShadowSeed uint64 = 0x5DEECE66D
+
 // Server wires the inference engine and index into an http.Handler.
 type Server struct {
-	engine  *infer.Engine
+	// primary is the serving slot: every prediction request leases its
+	// engine (leasePrimary). candidate, when non-nil, is a loaded model
+	// shadowing live traffic; previous parks the demoted primary as the
+	// rollback target. Slot writes serialize under lcMu; reads are plain
+	// atomic loads on the hot path.
+	primary   atomic.Pointer[modelSlot]
+	candidate atomic.Pointer[modelSlot]
+	previous  atomic.Pointer[modelSlot]
+	lcMu      sync.Mutex
+
+	// shadowWG tracks in-flight shadow-scoring goroutines so Shutdown (and
+	// the leak-checking tests) can prove none outlive the server.
+	shadowWG     sync.WaitGroup
+	shadowSample float64
+	shadowSeed   uint64
+	shadowSeq    atomic.Uint64
+	modelsDir    string
+	primaryID    string
+
+	// engineWorkers/engineMaxBatch clone the boot engine's configuration
+	// onto every lifecycle-created engine.
+	engineWorkers  int
+	engineMaxBatch int
+	drained        *obs.Counter // models.engines.drained — retired engines fully released
+
 	index   *discovery.TypeIndex
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the middleware chain
@@ -209,6 +243,35 @@ func WithFaults(fs *faultinject.Set) Option {
 	return func(s *Server) { s.faults = fs }
 }
 
+// WithShadowSample sets the fraction of live predict / predict-batch
+// traffic double-scored on a shadowing candidate (lifecycle.go), in [0, 1].
+// Sampling is deterministic from the shadow seed — the same request
+// sequence samples identically on every run. Default 1: every request is
+// shadow-scored while a candidate is loaded (`serve -shadow-sample` tunes
+// it down for deployments where double-scoring everything is too dear).
+func WithShadowSample(f float64) Option {
+	return func(s *Server) { s.shadowSample = f }
+}
+
+// WithShadowSeed overrides the deterministic shadow sampler's seed —
+// test support for exercising different sampled subsets.
+func WithShadowSeed(seed uint64) Option {
+	return func(s *Server) { s.shadowSeed = seed }
+}
+
+// WithModelsDir confines POST /v1/models checkpoint paths to one directory:
+// requests must name a relative path inside it. Without this option (the
+// default) any path the process can read is accepted.
+func WithModelsDir(dir string) Option {
+	return func(s *Server) { s.modelsDir = dir }
+}
+
+// WithModelID names the boot-time model in lifecycle telemetry and
+// GET /v1/models. Default "boot".
+func WithModelID(id string) Option {
+	return func(s *Server) { s.primaryID = id }
+}
+
 // New builds a server around a trained model. minConfidence filters what
 // enters the discovery index.
 func New(m *core.Model, minConfidence float64, opts ...Option) *Server {
@@ -221,10 +284,12 @@ func New(m *core.Model, minConfidence float64, opts ...Option) *Server {
 // otherwise the engine's.
 func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Server {
 	s := &Server{
-		engine:   eng,
-		index:    discovery.NewTypeIndex(minConfidence),
-		mux:      http.NewServeMux(),
-		idPrefix: newIDPrefix(),
+		index:        discovery.NewTypeIndex(minConfidence),
+		mux:          http.NewServeMux(),
+		idPrefix:     newIDPrefix(),
+		shadowSample: 1,
+		shadowSeed:   defaultShadowSeed,
+		primaryID:    "boot",
 	}
 	for _, o := range opts {
 		o(s)
@@ -260,6 +325,23 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 		d.Register(s.metrics)
 	}
 
+	// The boot engine becomes the initial primary slot of the model
+	// lifecycle state machine (lifecycle.go); its configuration is the
+	// template for every engine a later load/promote/rollback builds.
+	s.engineWorkers = eng.Workers()
+	s.engineMaxBatch = eng.MaxBatch()
+	s.drained = s.metrics.Counter("models.engines.drained")
+	boot := &modelSlot{
+		id:       s.primaryID,
+		model:    eng.Model(),
+		engine:   eng,
+		drift:    eng.Drift(),
+		loadedAt: time.Now(),
+		mx:       s.newSlotMetrics(s.primaryID),
+	}
+	boot.drift.RegisterLabeled(s.metrics, "model", boot.id) // nil-safe
+	s.primary.Store(boot)
+
 	s.shed = s.metrics.Counter("http.shed")
 	s.timeouts = s.metrics.Counter("http.timeouts")
 	s.metrics.GaugeFunc("http.inflight", func() float64 { return float64(s.inflight.Load()) })
@@ -283,6 +365,10 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 	s.route("GET /v1/metrics", s.handleMetrics)
 	s.route("GET /v1/traces", s.handleTraces)
 	s.route("GET /v1/slo", s.handleSLO)
+	s.route("POST /v1/models", s.handleModelsLoad)
+	s.route("GET /v1/models", s.handleModelsStatus)
+	s.route("POST /v1/models/promote", s.handleModelsPromote)
+	s.route("POST /v1/models/rollback", s.handleModelsRollback)
 	if s.debug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -316,6 +402,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-tick.C:
 		}
 	}
+	// Requests are drained; shadow-scoring goroutines they spawned may still
+	// be running against the candidate. Wait those out too — a shadow score
+	// observed after Shutdown returns would race test teardown and registry
+	// reads.
+	shadowDone := make(chan struct{})
+	go func() {
+		s.shadowWG.Wait()
+		close(shadowDone)
+	}()
+	select {
+	case <-shadowDone:
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown aborted with shadow scoring in flight: %w", ctx.Err())
+	}
 	if s.logger != nil {
 		if raw, err := json.Marshal(s.metrics.Snapshot()); err == nil {
 			s.logger.Printf("shutdown: drained, final metrics %s", raw)
@@ -329,8 +429,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// model returns the engine's underlying model.
-func (s *Server) model() *core.Model { return s.engine.Model() }
+// model returns the current primary slot's model.
+func (s *Server) model() *core.Model {
+	if slot := s.primary.Load(); slot != nil {
+		return slot.model
+	}
+	return nil
+}
+
+// modelTypes returns the primary model's vocabulary size, 0 with no model.
+func (s *Server) modelTypes() int {
+	if m := s.model(); m != nil {
+		return len(m.Types())
+	}
+	return 0
+}
+
+// primaryEngine returns the current primary slot's engine — introspection
+// for tests and callers that held the boot engine before lifecycle moves.
+func (s *Server) primaryEngine() *infer.Engine {
+	if slot := s.primary.Load(); slot != nil {
+		return slot.engine
+	}
+	return nil
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
@@ -477,7 +599,12 @@ func (s *Server) predict(ctx context.Context, tr *TableRequest) (*table.Table, [
 	if err != nil {
 		return nil, nil, err
 	}
-	preds, err := s.engine.PredictCtx(ctx, t)
+	slot, ok := s.leasePrimary()
+	if !ok {
+		return nil, nil, errNoModel
+	}
+	defer slot.engine.Release()
+	preds, err := slot.engine.PredictCtx(ctx, t)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -535,13 +662,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, inferSp := obs.StartSpan(ctx, "infer")
-	preds, err := s.engine.PredictCtx(ctx, t)
+	slot, ok := s.leasePrimary()
+	if !ok {
+		inferSp.End()
+		writeErr(w, http.StatusServiceUnavailable, "%v", errNoModel)
+		return
+	}
+	preds, err := slot.engine.PredictCtx(ctx, t)
+	slot.engine.Release()
 	inferSp.End()
 	if err != nil {
 		s.writeInferErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResponse(t, preds))
+	// Strictly after the response is written: shadow-score the request on a
+	// shadowing candidate, off this goroutine. The primary response bytes
+	// are final — shadowing cannot perturb them (bit-identity test).
+	s.maybeShadow([]*table.Table{t}, [][]core.ColumnPrediction{preds})
 }
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
@@ -570,7 +708,14 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	parse.End()
 
 	_, inferSp := obs.StartSpan(ctx, "infer")
-	batch, err := s.engine.PredictBatchCtx(ctx, tables)
+	slot, ok := s.leasePrimary()
+	if !ok {
+		inferSp.End()
+		writeErr(w, http.StatusServiceUnavailable, "%v", errNoModel)
+		return
+	}
+	batch, err := slot.engine.PredictBatchCtx(ctx, tables)
+	slot.engine.Release()
 	inferSp.End()
 	if err != nil {
 		s.writeInferErr(w, err)
@@ -581,6 +726,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = *toResponse(tables[i], preds)
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.maybeShadow(tables, batch) // after the response bytes are final
 }
 
 // handleMetrics serves a point-in-time JSON snapshot of the registry —
@@ -654,6 +800,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			s.writeInferErr(w, err)
 			return
 		}
+		if errors.Is(err, errNoModel) {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -685,7 +835,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"indexed":    s.index.Types(),
-		"vocabulary": len(s.model().Types()),
+		"vocabulary": s.modelTypes(),
 	})
 }
 
@@ -699,31 +849,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, code, map[string]any{
 		"status":         status,
-		"types":          len(s.model().Types()),
+		"types":          s.modelTypes(),
 		"indexed_tables": st.Tables,
 		"indexed_cols":   st.Columns,
 	})
 }
 
 // handleReadyz is the readiness probe, distinct from the liveness probe at
-// /v1/healthz: ready means the model is loaded and the server is not
+// /v1/healthz: ready means a primary model is serving and the server is not
 // draining — i.e. a request sent now would be admitted rather than turned
 // away. Load balancers gate traffic on it, and loadgen polls it before
 // opening a measured window so warmup never includes a half-started server.
+// Lifecycle transitions never pass through an unready state: promote and
+// rollback swap the primary pointer without ever storing nil, and a failed
+// candidate load touches nothing but the error response (both are
+// regression-tested) — readiness only drops when the server drains.
 // Admission-exempt, like the other probe endpoints.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	m := s.model()
 	switch {
 	case s.draining.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"ready": false, "status": "draining",
 		})
-	case s.model() == nil:
+	case m == nil:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"ready": false, "status": "no model loaded",
 		})
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{
-			"ready": true, "status": "ready", "types": len(s.model().Types()),
+			"ready": true, "status": "ready", "types": len(m.Types()),
 		})
 	}
 }
