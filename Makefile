@@ -37,11 +37,11 @@ vet:
 # bounds, and running them alongside the (CPU-heavy) training race tests on
 # a small machine starves those timers into flakes.
 race:
-	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/... ./internal/obs/... ./internal/loadgen/...
+	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/... ./internal/obs/... ./internal/loadgen/... ./internal/discovery/... ./internal/rescore/...
 
-# Total statement coverage floor, last raised when the model-lifecycle PR
+# Total statement coverage floor, last raised when the lake re-score PR
 # landed; `make cover` fails if the tree ever drops below it.
-COVER_MIN = 87.0
+COVER_MIN = 87.2
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -59,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTableRequestDecode -fuzztime 10s ./internal/server/
 	$(GO) test -run '^$$' -fuzz FuzzModelsRequestDecode -fuzztime 10s ./internal/server/
 	$(GO) test -run '^$$' -fuzz FuzzModelLoad -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointDecode -fuzztime 10s ./internal/rescore/
 
 # One quick-scale pass per paper table/figure plus component micro-benches.
 bench:

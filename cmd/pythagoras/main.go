@@ -286,6 +286,8 @@ func cmdServe(args []string) {
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	shadowSample := fs.Float64("shadow-sample", 1, "fraction of live traffic double-scored on a shadowing candidate model (deterministic seeded sampling; see POST /v1/models)")
 	modelsDir := fs.String("models-dir", "", "confine POST /v1/models checkpoint paths to this directory (empty = any readable path)")
+	rescoreCkpt := fs.String("rescore-checkpoint", "", "durable cursor path for lake re-scores (POST /v1/index/rescore); empty keeps the cursor in memory only, so a crashed re-score restarts instead of resuming")
+	rescoreBatch := fs.Int("rescore-batch", 16, "tables per engine batch during a lake re-score")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 	slog := structuredLogger(*logFormat)
@@ -316,9 +318,13 @@ func cmdServe(args []string) {
 		server.WithRequestTimeout(*requestTimeout), server.WithMaxInflight(*maxInflight),
 		server.WithTraceRecorder(recorder), server.WithSLO(sloEng),
 		server.WithShadowSample(*shadowSample),
+		server.WithRescoreBatch(*rescoreBatch),
 	}
 	if *modelsDir != "" {
 		opts = append(opts, server.WithModelsDir(*modelsDir))
+	}
+	if *rescoreCkpt != "" {
+		opts = append(opts, server.WithRescoreCheckpoint(*rescoreCkpt))
 	}
 	if slog != nil {
 		opts = append(opts, server.WithLogz(slog.With("component", "server")))

@@ -7,8 +7,10 @@
 package discovery
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"github.com/sematype/pythagoras/internal/core"
@@ -54,13 +56,13 @@ func (ix *TypeIndex) AddTable(m *core.Model, t *table.Table) int {
 	return ix.AddPredictions(t, m.PredictTable(t))
 }
 
-// AddPredictions indexes already-computed predictions for t — the path the
-// serving layer uses so one staged-inference pass covers both the response
-// and the index update (AddTable would re-predict from scratch).
-func (ix *TypeIndex) AddPredictions(t *table.Table, preds []core.ColumnPrediction) int {
+// predRefs converts predictions for t into column refs, dropping those
+// below minConfidence. The returned slice is never nil — an empty result is
+// "indexed with zero qualifying columns", not "skipped".
+func predRefs(t *table.Table, preds []core.ColumnPrediction, minConfidence float64) []ColumnRef {
 	refs := make([]ColumnRef, 0, len(preds))
 	for _, p := range preds {
-		if p.Confidence < ix.minConfidence {
+		if p.Confidence < minConfidence {
 			continue
 		}
 		refs = append(refs, ColumnRef{
@@ -68,13 +70,28 @@ func (ix *TypeIndex) AddPredictions(t *table.Table, preds []core.ColumnPredictio
 			Header: p.Header, Kind: p.Kind, Type: p.Type, Confidence: p.Confidence,
 		})
 	}
+	return refs
+}
+
+// MinConfidence reports the index's insert-time confidence threshold.
+func (ix *TypeIndex) MinConfidence() float64 { return ix.minConfidence }
+
+// AddPredictions indexes already-computed predictions for t — the path the
+// serving layer uses so one staged-inference pass covers both the response
+// and the index update (AddTable would re-predict from scratch).
+func (ix *TypeIndex) AddPredictions(t *table.Table, preds []core.ColumnPrediction) int {
+	return ix.setRefs(t.ID, predRefs(t, preds, ix.minConfidence))
+}
+
+// setRefs installs refs as tableID's entries, replacing any previous ones.
+func (ix *TypeIndex) setRefs(tableID string, refs []ColumnRef) int {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if _, dup := ix.byTable[t.ID]; dup {
+	if _, dup := ix.byTable[tableID]; dup {
 		// Re-adding a table replaces its previous entries.
-		ix.removeLocked(t.ID)
+		ix.removeLocked(tableID)
 	}
-	ix.byTable[t.ID] = refs
+	ix.byTable[tableID] = refs
 	for _, r := range refs {
 		ix.byType[r.Type] = append(ix.byType[r.Type], r)
 	}
@@ -94,16 +111,7 @@ func (ix *TypeIndex) AddLabeled(t *table.Table) int {
 			Header: c.Header, Kind: c.Kind, Type: c.SemanticType, Confidence: 1,
 		})
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if _, dup := ix.byTable[t.ID]; dup {
-		ix.removeLocked(t.ID)
-	}
-	ix.byTable[t.ID] = refs
-	for _, r := range refs {
-		ix.byType[r.Type] = append(ix.byType[r.Type], r)
-	}
-	return len(refs)
+	return ix.setRefs(t.ID, refs)
 }
 
 // Remove drops a table from the index.
@@ -151,7 +159,12 @@ func (ix *TypeIndex) Stats() Stats {
 }
 
 // Columns returns all indexed occurrences of a semantic type, sorted by
-// confidence descending.
+// confidence descending. The tie-break is the full (TableID, ColIndex)
+// identity of a column: (Confidence, TableID) alone is not a total order —
+// a table can carry one type in several columns, and equal confidences
+// across tables are common with curated (AddLabeled) entries — and an
+// incomplete key under the unstable sort.Slice made join/union output flap
+// between runs.
 func (ix *TypeIndex) Columns(semanticType string) []ColumnRef {
 	ix.mu.RLock()
 	out := append([]ColumnRef(nil), ix.byType[semanticType]...)
@@ -160,7 +173,10 @@ func (ix *TypeIndex) Columns(semanticType string) []ColumnRef {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence
 		}
-		return out[i].TableID < out[j].TableID
+		if out[i].TableID != out[j].TableID {
+			return out[i].TableID < out[j].TableID
+		}
+		return out[i].ColIndex < out[j].ColIndex
 	})
 	return out
 }
@@ -194,11 +210,15 @@ func (ix *TypeIndex) TablesWithAll(types ...string) []string {
 }
 
 // JoinCandidate pairs two tables through a shared semantic type — the
-// join-discovery primitive.
+// join-discovery primitive. Columns are identified by position as well as
+// header: headers alone are ambiguous (tables with duplicate or empty
+// headers are routine in scraped lakes), so LeftColIndex/RightColIndex are
+// the authoritative column identities and the headers are display labels.
 type JoinCandidate struct {
-	Type              string
-	LeftID, RightID   string
-	LeftCol, RightCol string
+	Type                        string
+	LeftID, RightID             string
+	LeftCol, RightCol           string
+	LeftColIndex, RightColIndex int
 }
 
 // JoinCandidates returns pairs of distinct tables sharing the given
@@ -212,11 +232,13 @@ func (ix *TypeIndex) JoinCandidates(semanticType string, limit int) []JoinCandid
 				continue
 			}
 			out = append(out, JoinCandidate{
-				Type:     semanticType,
-				LeftID:   cols[i].TableID,
-				RightID:  cols[j].TableID,
-				LeftCol:  cols[i].Header,
-				RightCol: cols[j].Header,
+				Type:          semanticType,
+				LeftID:        cols[i].TableID,
+				RightID:       cols[j].TableID,
+				LeftCol:       cols[i].Header,
+				RightCol:      cols[j].Header,
+				LeftColIndex:  cols[i].ColIndex,
+				RightColIndex: cols[j].ColIndex,
 			})
 			if limit > 0 && len(out) >= limit {
 				return out
@@ -236,11 +258,16 @@ type UnionCandidate struct {
 }
 
 // UnionCandidates ranks tables by semantic-type overlap with tableID.
+//
+// One RLock covers both the query table's refs and the byType scan: with
+// two separate critical sections, a concurrent re-add or remove landing
+// between them computed overlap against a torn mix of old and new state —
+// a denominator from one index version and a numerator from another.
 func (ix *TypeIndex) UnionCandidates(tableID string, topK int) ([]UnionCandidate, error) {
 	ix.mu.RLock()
 	base, ok := ix.byTable[tableID]
-	ix.mu.RUnlock()
 	if !ok {
+		ix.mu.RUnlock()
 		return nil, fmt.Errorf("discovery: table %q not indexed", tableID)
 	}
 	baseTypes := map[string]bool{}
@@ -248,11 +275,11 @@ func (ix *TypeIndex) UnionCandidates(tableID string, topK int) ([]UnionCandidate
 		baseTypes[r.Type] = true
 	}
 	if len(baseTypes) == 0 {
+		ix.mu.RUnlock()
 		return nil, nil
 	}
 
 	shared := map[string]map[string]bool{}
-	ix.mu.RLock()
 	for st := range baseTypes {
 		for _, r := range ix.byType[st] {
 			if r.TableID == tableID {
@@ -284,6 +311,33 @@ func (ix *TypeIndex) UnionCandidates(tableID string, topK int) ([]UnionCandidate
 		out = out[:topK]
 	}
 	return out, nil
+}
+
+// CanonicalDump renders the whole index in a deterministic byte form: one
+// tab-separated line per indexed column, tables in sorted-ID order, each
+// table's columns in position order, confidences in hex float (lossless
+// round-trip). Two indexes over the same lake are semantically equal iff
+// their dumps are byte-equal — the oracle the rescore crash-resume
+// bit-identity tests compare.
+func (ix *TypeIndex) CanonicalDump() []byte {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids := make([]string, 0, len(ix.byTable))
+	for id := range ix.byTable {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b bytes.Buffer
+	for _, id := range ids {
+		refs := append([]ColumnRef(nil), ix.byTable[id]...)
+		sort.Slice(refs, func(i, j int) bool { return refs[i].ColIndex < refs[j].ColIndex })
+		for _, r := range refs {
+			fmt.Fprintf(&b, "%s\t%d\t%s\t%s\t%s\t%s\n",
+				r.TableID, r.ColIndex, r.Header, r.Kind, r.Type,
+				strconv.FormatFloat(r.Confidence, 'x', -1, 64))
+		}
+	}
+	return b.Bytes()
 }
 
 // Types returns all indexed semantic types, sorted.

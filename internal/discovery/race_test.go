@@ -1,0 +1,230 @@
+package discovery
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestColumnsDeterministicOrder is the regression for the unstable-sort
+// tie-break bug: two same-type columns in one table, and equal-confidence
+// columns across tables, must come back in one fixed order regardless of
+// insertion history — (Confidence desc, TableID, ColIndex). Before the
+// ColIndex tie-break, sort.Slice (unstable) ordered equal (Confidence,
+// TableID) keys by pivot luck and join output flapped between runs.
+func TestColumnsDeterministicOrder(t *testing.T) {
+	build := func(perm []string) []ColumnRef {
+		ix := NewTypeIndex(0)
+		tables := map[string]func(){
+			// tbl-a carries "price" in three columns at one confidence.
+			"a": func() { ix.AddLabeled(labeledTable("a", "price", "price", "price")) },
+			// b and c tie with a on confidence (AddLabeled confidence is 1).
+			"b": func() { ix.AddLabeled(labeledTable("b", "price")) },
+			"c": func() { ix.AddLabeled(labeledTable("c", "price", "price")) },
+		}
+		for _, id := range perm {
+			tables[id]()
+		}
+		return ix.Columns("price")
+	}
+	want := build([]string{"a", "b", "c"})
+	if len(want) != 6 {
+		t.Fatalf("indexed %d price columns, want 6", len(want))
+	}
+	for _, perm := range [][]string{{"c", "b", "a"}, {"b", "a", "c"}, {"c", "a", "b"}} {
+		got := build(perm)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("insertion order %v changed Columns()[%d]: got %+v want %+v", perm, i, got[i], want[i])
+			}
+		}
+	}
+	for i := 1; i < len(want); i++ {
+		p, q := want[i-1], want[i]
+		inOrder := p.Confidence > q.Confidence ||
+			(p.Confidence == q.Confidence && (p.TableID < q.TableID ||
+				(p.TableID == q.TableID && p.ColIndex < q.ColIndex)))
+		if !inOrder {
+			t.Fatalf("Columns not totally ordered at %d: %+v before %+v", i, p, q)
+		}
+	}
+}
+
+// TestJoinCandidatesColumnIndexes verifies join candidates identify columns
+// by position, not just header — duplicate headers within a table used to
+// make candidates ambiguous.
+func TestJoinCandidatesColumnIndexes(t *testing.T) {
+	ix := NewTypeIndex(0)
+	// Both columns of "dup" share one header and one type — only ColIndex
+	// distinguishes them.
+	ix.AddLabeled(labeledTable("dup", "team.id", "team.id"))
+	ix.AddLabeled(labeledTable("other", "team.id"))
+	cands := ix.JoinCandidates("team.id", 0)
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2 (one per dup column)", len(cands))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range cands {
+		if c.LeftID != "dup" || c.RightID != "other" {
+			t.Fatalf("unexpected pair %q/%q", c.LeftID, c.RightID)
+		}
+		seen[[2]int{c.LeftColIndex, c.RightColIndex}] = true
+	}
+	if !seen[[2]int{0, 0}] || !seen[[2]int{1, 0}] {
+		t.Fatalf("candidates do not distinguish dup's two columns: %+v", cands)
+	}
+}
+
+// TestReaddReplacesAtomically pins the replacement semantics a re-add must
+// have: the old entries vanish entirely, byType carries no stale refs.
+func TestReaddReplacesAtomically(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("t", "price", "rating"))
+	ix.AddLabeled(labeledTable("t", "price"))
+	if got := ix.Stats(); got.Tables != 1 || got.Columns != 1 || got.Types != 1 {
+		t.Fatalf("after re-add: %+v", got)
+	}
+	if cols := ix.Columns("rating"); len(cols) != 0 {
+		t.Fatalf("stale rating refs survived re-add: %+v", cols)
+	}
+}
+
+// TestUnionCandidatesHammer targets the torn-read bug directly: the old
+// implementation dropped the read lock between reading the query table's
+// refs and scanning byType, so a re-add landing in the gap yielded an
+// Overlap whose denominator came from one index version and numerator from
+// another. Under one RLock every candidate in a single result shares the
+// same denominator len(baseTypes): Overlap*k == Shared for one integral k
+// per call. Writers flip the base table between 2 and 4 types while readers
+// assert that invariant.
+func TestUnionCandidatesHammer(t *testing.T) {
+	ix := NewTypeIndex(0)
+	ix.AddLabeled(labeledTable("base", "price", "rating"))
+	// Peers cover both base variants so Shared can reach the denominator.
+	ix.AddLabeled(labeledTable("p1", "price", "rating", "year", "area"))
+	ix.AddLabeled(labeledTable("p2", "price", "year"))
+
+	stop := make(chan struct{})
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				ix.AddLabeled(labeledTable("base", "price", "rating", "year", "area"))
+			} else {
+				ix.AddLabeled(labeledTable("base", "price", "rating"))
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 500; i++ {
+				cands, err := ix.UnionCandidates("base", 0)
+				if err != nil {
+					t.Errorf("base vanished: %v", err)
+					return
+				}
+				var denom float64
+				for _, c := range cands {
+					if c.Overlap <= 0 || c.Overlap > 1 || c.Shared < 1 {
+						t.Errorf("impossible candidate %+v", c)
+					}
+					d := float64(c.Shared) / c.Overlap
+					if denom == 0 {
+						denom = d
+					} else if d != denom {
+						t.Errorf("torn read: denominators %v and %v in one result (%+v)", denom, d, cands)
+					}
+				}
+				if denom != 0 && denom != 2 && denom != 4 {
+					t.Errorf("denominator %v is neither base variant", denom)
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// TestTypeIndexConcurrency hammers every read path against concurrent
+// re-adds and removes under -race: AddPredictions-style replacement
+// (AddLabeled shares setRefs), Remove, Columns, UnionCandidates,
+// TablesWithAll, JoinCandidates, Stats, CanonicalDump. Assertions are the
+// structural invariants any serializable interleaving preserves.
+func TestTypeIndexConcurrency(t *testing.T) {
+	ix := NewTypeIndex(0)
+	// A stable backbone the queries can always see.
+	ix.AddLabeled(labeledTable("base", "price", "rating", "year"))
+	ix.AddLabeled(labeledTable("peer", "price", "rating"))
+
+	const writers, iters = 4, 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("churn-%d", w)
+			for i := 0; i < iters; i++ {
+				switch i % 3 {
+				case 0:
+					ix.AddLabeled(labeledTable(id, "price", "rating"))
+				case 1:
+					ix.AddLabeled(labeledTable(id, "year"))
+				default:
+					ix.Remove(id)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cols := ix.Columns("price")
+				perTable := map[string]int{}
+				for _, c := range cols {
+					if c.Type != "price" {
+						t.Errorf("Columns(price) returned type %q", c.Type)
+					}
+					perTable[c.TableID]++
+				}
+				for id, n := range perTable {
+					if n > 1 {
+						t.Errorf("table %s appears %d times for one type", id, n)
+					}
+				}
+				cands, err := ix.UnionCandidates("base", 0)
+				if err != nil {
+					t.Errorf("base vanished: %v", err)
+				}
+				for _, c := range cands {
+					if c.TableID == "base" {
+						t.Error("union candidates include the query table")
+					}
+					if c.Shared < 1 || c.Shared > 3 || c.Overlap <= 0 || c.Overlap > 1 {
+						t.Errorf("impossible candidate %+v", c)
+					}
+				}
+				for _, id := range ix.TablesWithAll("price", "rating") {
+					if id == "" {
+						t.Error("empty table id from TablesWithAll")
+					}
+				}
+				ix.JoinCandidates("rating", 10)
+				ix.Stats()
+				ix.CanonicalDump()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,185 @@
+// Snapshot-isolated index swapping (DESIGN.md §15).
+//
+// A lake re-score after a model upgrade must not be observable in halves:
+// a discovery query that sees table A typed by the new model and table B
+// still typed by the old one can return join/union candidates that neither
+// model's view of the lake supports. SwapIndex gives the serving layer the
+// same isolation discipline PR 8's model lifecycle uses for engines — the
+// queryable index lives behind an atomic pointer, a re-score builds a
+// private shadow TypeIndex off to the side, and completion flips the
+// pointer in one atomic store. Queries pin whichever index the pointer
+// held when they started; they never see the shadow mid-build.
+//
+// Live mutations during a shadow build dual-write: an add or remove lands
+// in the current index (queries must see it now) and in the shadow (the
+// flip must not lose it). Removes additionally leave a tombstone so a
+// re-score batch that already fetched the removed table cannot resurrect
+// it into the shadow — the remove happened after the scan snapshot, so the
+// new index must honor it.
+package discovery
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// SwapIndex is a TypeIndex holder with snapshot-isolated replacement.
+// Queries read the current index via Current (lock-free pointer load);
+// mutations go through the SwapIndex so they reach both the current index
+// and, while a shadow build is active, the shadow. It is safe for
+// concurrent use.
+type SwapIndex struct {
+	cur           atomic.Pointer[TypeIndex]
+	minConfidence float64
+
+	// mu serializes mutations (so current and shadow always apply them in
+	// the same order) and guards the shadow build state. Queries never take
+	// it — Current is a plain atomic load.
+	mu         sync.Mutex
+	shadow     *TypeIndex
+	tombstones map[string]struct{}
+}
+
+// NewSwapIndex returns a SwapIndex serving a fresh empty TypeIndex with the
+// given insert-time confidence threshold.
+func NewSwapIndex(minConfidence float64) *SwapIndex {
+	s := &SwapIndex{minConfidence: minConfidence}
+	s.cur.Store(NewTypeIndex(minConfidence))
+	return s
+}
+
+// Current returns the index queries should read. Callers that issue several
+// related queries (a join listing plus a union ranking, say) should pin one
+// Current() result and run them all against it — that is the snapshot.
+func (s *SwapIndex) Current() *TypeIndex { return s.cur.Load() }
+
+// MinConfidence reports the threshold every index this holder creates uses.
+func (s *SwapIndex) MinConfidence() float64 { return s.minConfidence }
+
+// AddPredictions indexes predictions for t in the current index and, when a
+// shadow build is active, in the shadow — a table indexed mid-rescore
+// survives the flip. A live re-add also clears any tombstone: the table is
+// back, typed by the model serving right now.
+func (s *SwapIndex) AddPredictions(t *table.Table, preds []core.ColumnPrediction) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.cur.Load().AddPredictions(t, preds)
+	if s.shadow != nil {
+		s.shadow.AddPredictions(t, preds)
+		delete(s.tombstones, t.ID)
+	}
+	return n
+}
+
+// AddLabeled indexes t's gold labels, dual-writing like AddPredictions.
+func (s *SwapIndex) AddLabeled(t *table.Table) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.cur.Load().AddLabeled(t)
+	if s.shadow != nil {
+		s.shadow.AddLabeled(t)
+		delete(s.tombstones, t.ID)
+	}
+	return n
+}
+
+// Remove drops a table from the current index and, when a shadow build is
+// active, from the shadow — leaving a tombstone so an in-flight re-score
+// batch cannot re-insert what an operator just deleted.
+func (s *SwapIndex) Remove(tableID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.Load().Remove(tableID)
+	if s.shadow != nil {
+		s.shadow.Remove(tableID)
+		s.tombstones[tableID] = struct{}{}
+	}
+}
+
+// BeginShadow starts a shadow build: a fresh empty TypeIndex that re-score
+// writes (ShadowAdd/ShadowAddRefs) and live dual-writes fill until
+// CommitShadow flips it in or AbortShadow discards it. Only one build may
+// be active at a time.
+func (s *SwapIndex) BeginShadow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shadow != nil {
+		return fmt.Errorf("discovery: a shadow build is already active")
+	}
+	s.shadow = NewTypeIndex(s.minConfidence)
+	s.tombstones = map[string]struct{}{}
+	return nil
+}
+
+// ShadowActive reports whether a shadow build is in progress.
+func (s *SwapIndex) ShadowActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shadow != nil
+}
+
+// ShadowAdd indexes re-scored predictions for t into the shadow only and
+// returns the refs it installed — the caller persists them in the scan
+// checkpoint so a resumed re-score replays them instead of re-scoring. A
+// nil result with a nil error means the table was tombstoned (removed
+// since the scan snapshot) and deliberately skipped.
+func (s *SwapIndex) ShadowAdd(t *table.Table, preds []core.ColumnPrediction) ([]ColumnRef, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shadow == nil {
+		return nil, fmt.Errorf("discovery: no shadow build active")
+	}
+	if _, gone := s.tombstones[t.ID]; gone {
+		return nil, nil
+	}
+	refs := predRefs(t, preds, s.minConfidence)
+	s.shadow.setRefs(t.ID, refs)
+	return refs, nil
+}
+
+// ShadowAddRefs replays checkpointed refs for tableID into the shadow — the
+// resume path, which must reproduce the interrupted run's index without
+// re-scoring the already-durable prefix. Tombstoned tables are skipped like
+// in ShadowAdd.
+func (s *SwapIndex) ShadowAddRefs(tableID string, refs []ColumnRef) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shadow == nil {
+		return fmt.Errorf("discovery: no shadow build active")
+	}
+	if _, gone := s.tombstones[tableID]; gone {
+		return nil
+	}
+	s.shadow.setRefs(tableID, append([]ColumnRef(nil), refs...))
+	return nil
+}
+
+// CommitShadow atomically publishes the shadow as the current index — the
+// one-instruction flip that makes snapshot isolation: every query started
+// before the flip finishes on the old index, every query started after sees
+// only the new one, and no query ever sees a mix. Returns false when no
+// build is active.
+func (s *SwapIndex) CommitShadow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shadow == nil {
+		return false
+	}
+	s.cur.Store(s.shadow)
+	s.shadow = nil
+	s.tombstones = nil
+	return true
+}
+
+// AbortShadow discards an active shadow build, leaving the current index
+// untouched. No-op when none is active.
+func (s *SwapIndex) AbortShadow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shadow = nil
+	s.tombstones = nil
+}

@@ -52,6 +52,20 @@ const (
 	// shadow goroutine — injected latency or errors there must never be
 	// observable on the primary serving path.
 	ServerShadow Point = "server.shadow"
+	// RescoreBatch fires once per lake re-score batch, before it is scored
+	// on the engine — injected latency stretches the window rollback-
+	// cancellation tests race against; an injected error models a scoring
+	// failure aborting the run.
+	RescoreBatch Point = "rescore.batch"
+	// RescoreCheckpoint fires before each durable cursor write. An injected
+	// error is the deterministic stand-in for a crash between batches: the
+	// run dies with the previous checkpoint as the last durable position,
+	// which is exactly what a resume must recover from.
+	RescoreCheckpoint Point = "rescore.checkpoint"
+	// RescoreSwap fires after the scan completes, before the snapshot index
+	// flip — the last instant at which a crash leaves the old index
+	// serving.
+	RescoreSwap Point = "rescore.swap"
 	// TrainPrepare fires once per table in the trainer's prepare stage.
 	TrainPrepare Point = "train.prepare"
 	// TrainStep fires once per optimizer step, before the data-parallel

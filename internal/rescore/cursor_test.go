@@ -1,0 +1,145 @@
+package rescore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/discovery"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Version: CheckpointVersion,
+		ModelID: "m-1",
+		IDs:     []string{"a", "b", "c"},
+		Pos:     2,
+		Refs: map[string][]discovery.ColumnRef{
+			"a": {{TableID: "a", ColIndex: 0, Header: "h", Type: "price", Confidence: 0.75}},
+			"b": {},
+		},
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cursor.json")
+	cp := sampleCheckpoint()
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cp) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, cp)
+	}
+}
+
+func TestLoadCheckpointMissingFile(t *testing.T) {
+	_, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.json"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestCheckpointValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(c *Checkpoint)
+		want string // substring of the error
+	}{
+		{"wrong version", func(c *Checkpoint) { c.Version = 99 }, "version"},
+		{"negative pos", func(c *Checkpoint) { c.Pos = -1 }, "position"},
+		{"pos beyond snapshot", func(c *Checkpoint) { c.Pos = 4 }, "position"},
+		{"empty id", func(c *Checkpoint) { c.IDs[1] = "" }, "empty table ID"},
+		{"duplicate id", func(c *Checkpoint) { c.IDs[2] = "a" }, "duplicate"},
+		{"refs beyond cursor", func(c *Checkpoint) {
+			c.Refs["c"] = []discovery.ColumnRef{{TableID: "c"}}
+		}, "beyond the cursor"},
+		{"ref table mismatch", func(c *Checkpoint) {
+			c.Refs["a"] = []discovery.ColumnRef{{TableID: "zzz"}}
+		}, "claims table"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := sampleCheckpoint()
+			tc.mut(cp)
+			err := cp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+			// Save must refuse to persist an invalid cursor.
+			if err := cp.Save(filepath.Join(t.TempDir(), "c.json")); err == nil {
+				t.Fatal("Save accepted an invalid checkpoint")
+			}
+		})
+	}
+	if err := sampleCheckpoint().Validate(); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}
+
+func TestDecodeCheckpointCorrupt(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("{"),
+		[]byte(`{"version":1,"ids":`), // truncated mid-stream
+		[]byte(`[1,2,3]`),
+		[]byte(`{"version":2,"model_id":"m","ids":[],"pos":0}`),
+	} {
+		if _, err := DecodeCheckpoint(data); err == nil {
+			t.Fatalf("DecodeCheckpoint(%q) accepted corrupt input", data)
+		}
+	}
+}
+
+// TestSaveAtomicOnFailure: a Save that cannot complete (unwritable
+// directory) leaves the previous checkpoint byte-identical, and no temp
+// litter accumulates after successful saves.
+func TestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cursor.json")
+	cp := sampleCheckpoint()
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An invalid successor must not clobber the durable cursor.
+	bad := sampleCheckpoint()
+	bad.Pos = 99
+	if err := bad.Save(path); err == nil {
+		t.Fatal("invalid Save succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed Save altered the durable checkpoint")
+	}
+
+	// Successive saves leave no temp files behind.
+	cp.Pos = 3
+	cp.Refs["c"] = nil
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "cursor.json" {
+			t.Fatalf("temp litter after Save: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package rescore
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCheckpointDecode drives adversarial bytes through the cursor decoder.
+// The contract under fuzz: never panic, never accept a cursor that fails
+// Validate, and accepted cursors round-trip losslessly (decode → encode →
+// decode yields the same canonical form) — a checkpoint the driver would
+// resume from must mean the same thing after another save/load cycle.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := json.Marshal(sampleCheckpoint())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                                                       // truncated mid-object
+	f.Add([]byte(`{"version":99,"model_id":"m","ids":[],"pos":0}`))                   // wrong version
+	f.Add([]byte(`{"version":1,"model_id":"m","ids":["a","a"],"pos":0}`))             // duplicate IDs
+	f.Add([]byte(`{"version":1,"model_id":"m","ids":["a"],"pos":7}`))                 // cursor out of range
+	f.Add([]byte(`{"version":1,"ids":["a"],"pos":1,"refs":{"a":[{"TableID":"b"}]}}`)) // ref/key mismatch
+	f.Add([]byte(`{"version":1,"model_id":"","ids":[""],"pos":0}`))                   // empty table ID
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			if cp != nil {
+				t.Fatal("error with non-nil checkpoint")
+			}
+			return
+		}
+		// Accepted input must satisfy every structural invariant…
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid cursor: %v", err)
+		}
+		// …and survive a save/load cycle with identical meaning.
+		re, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		cp2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-decode rejected our own encoding: %v", err)
+		}
+		re2, err := json.Marshal(cp2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("checkpoint not canonical under round-trip:\n%s\n%s", re, re2)
+		}
+	})
+}

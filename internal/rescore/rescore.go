@@ -1,0 +1,361 @@
+// The re-score driver: walk the frozen scan snapshot in batches, score
+// each batch on the inference engine with bounded concurrency, commit
+// results in scan order (so the durable cursor is always a contiguous
+// completed prefix), checkpoint after every commit, and flip the shadow
+// index in when the scan completes. Cancellation (operator rollback, or
+// shutdown) aborts the shadow and leaves the old index serving; the cursor
+// survives on disk for a later resume.
+package rescore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/discovery"
+	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/obs"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+// Scorer is the slice of infer.Engine the driver needs — batch inference
+// with context cancellation. Narrowing to an interface keeps the package
+// testable with deterministic fakes and free of an engine dependency.
+type Scorer interface {
+	PredictBatchCtx(ctx context.Context, ts []*table.Table) ([][]core.ColumnPrediction, error)
+}
+
+// Config parameterizes one re-score run.
+type Config struct {
+	// ModelID labels telemetry and guards the checkpoint: a cursor written
+	// by a different model is discarded, not resumed.
+	ModelID string
+	// BatchSize is how many tables are scored per engine batch (default 16,
+	// the engine's union-chunk bound).
+	BatchSize int
+	// Concurrency bounds how many batches are in flight on the engine at
+	// once (default 2). The engine parallelizes within a batch too; this
+	// knob keeps the pipeline fed without monopolizing the worker pool
+	// serving live traffic.
+	Concurrency int
+	// CheckpointPath is where the durable cursor lives. Empty disables
+	// durability: the run still works, it just cannot resume after a crash.
+	CheckpointPath string
+	// Faults arms the chaos suite's injection points; nil (production) is
+	// free.
+	Faults *faultinject.Set
+	// Metrics, when non-nil, receives rescore counters and gauges.
+	Metrics *obs.Registry
+}
+
+// Progress is a point-in-time view of a run, served at GET /v1/index/rescore.
+type Progress struct {
+	// State is "pending" before Run, then "running", and finally one of
+	// "done", "failed", "cancelled".
+	State   string `json:"state"`
+	ModelID string `json:"model_id"`
+	// Total is the scan snapshot size; Done the committed cursor position.
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// Skipped counts snapshot tables that vanished from the lake (or were
+	// tombstoned by a concurrent remove) before they could be committed.
+	Skipped int `json:"skipped"`
+	// Resumed reports whether this run continued a persisted cursor.
+	Resumed    bool      `json:"resumed"`
+	Error      string    `json:"error,omitempty"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+}
+
+// Driver executes one re-score run. Create with New, execute with Run
+// (once), observe with Progress at any time from any goroutine.
+type Driver struct {
+	lake   *Lake
+	scorer Scorer
+	idx    *discovery.SwapIndex
+	cfg    Config
+
+	mu      sync.Mutex
+	prog    Progress
+	started bool
+
+	scored *obs.Counter // rescore.tables.scored{model=}
+	errs   *obs.Counter // rescore.errors{model=}
+	posG   *obs.Gauge   // rescore.cursor.position
+	totalG *obs.Gauge   // rescore.tables.total
+	active *obs.Gauge   // rescore.active
+}
+
+// New builds a driver over the lake, scorer and swap index. Defaults:
+// batch 16, concurrency 2.
+func New(lake *Lake, scorer Scorer, idx *discovery.SwapIndex, cfg Config) *Driver {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 2
+	}
+	d := &Driver{
+		lake: lake, scorer: scorer, idx: idx, cfg: cfg,
+		prog: Progress{State: "pending", ModelID: cfg.ModelID},
+	}
+	reg := cfg.Metrics // nil-safe: every obs handle tolerates a nil registry
+	d.scored = reg.Counter(obs.Labels("rescore.tables.scored", "model", cfg.ModelID))
+	d.errs = reg.Counter(obs.Labels("rescore.errors", "model", cfg.ModelID))
+	d.posG = reg.Gauge("rescore.cursor.position")
+	d.totalG = reg.Gauge("rescore.tables.total")
+	d.active = reg.Gauge("rescore.active")
+	return d
+}
+
+// Progress returns a copy of the run's current progress.
+func (d *Driver) Progress() Progress {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.prog
+}
+
+func (d *Driver) update(fn func(p *Progress)) {
+	d.mu.Lock()
+	fn(&d.prog)
+	pos, total := d.prog.Done, d.prog.Total
+	d.mu.Unlock()
+	d.posG.Set(float64(pos))
+	d.totalG.Set(float64(total))
+}
+
+// batchResult carries one scored batch from a worker to the committer.
+type batchResult struct {
+	tables  []*table.Table
+	preds   [][]core.ColumnPrediction
+	missing int
+	err     error
+}
+
+// Run executes the re-score to completion (or failure/cancellation). It is
+// one-shot: a Driver runs once, a resume is a fresh Driver over the same
+// checkpoint path. On success the shadow index has been committed and the
+// checkpoint file removed; on any other exit the old index is untouched
+// and the checkpoint (if durable) names the last completed prefix.
+func (d *Driver) Run(ctx context.Context) error {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return errors.New("rescore: driver already ran")
+	}
+	d.started = true
+	d.prog.State = "running"
+	d.prog.StartedAt = time.Now()
+	d.mu.Unlock()
+	d.active.Set(1)
+	defer d.active.Set(0)
+
+	err := d.run(ctx)
+	d.mu.Lock()
+	switch {
+	case err == nil:
+		d.prog.State = "done"
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		d.prog.State = "cancelled"
+		d.prog.Error = err.Error()
+	default:
+		d.prog.State = "failed"
+		d.prog.Error = err.Error()
+	}
+	d.prog.FinishedAt = time.Now()
+	d.mu.Unlock()
+	if err != nil {
+		d.errs.Inc()
+	}
+	return err
+}
+
+// loadOrInit resumes the persisted cursor when one exists, was written by
+// the same model, and validates; otherwise it freezes a fresh scan snapshot
+// from the lake. Only a same-model cursor resumes — another model's prefix
+// refs are that model's view of the lake and replaying them would commit a
+// mixed index, the exact state this subsystem exists to prevent.
+func (d *Driver) loadOrInit() (*Checkpoint, bool) {
+	if d.cfg.CheckpointPath != "" {
+		cp, err := LoadCheckpoint(d.cfg.CheckpointPath)
+		if err == nil && cp.ModelID == d.cfg.ModelID {
+			return cp, true
+		}
+	}
+	return &Checkpoint{
+		Version: CheckpointVersion,
+		ModelID: d.cfg.ModelID,
+		IDs:     d.lake.SnapshotIDs(),
+		Refs:    map[string][]discovery.ColumnRef{},
+	}, false
+}
+
+func (d *Driver) run(ctx context.Context) error {
+	cp, resumed := d.loadOrInit()
+	if err := d.idx.BeginShadow(); err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			d.idx.AbortShadow()
+		}
+	}()
+
+	// Replay the durable prefix into the fresh shadow. Tables that vanished
+	// from the lake since the cursor was written are dropped — the new index
+	// must reflect the lake as it is, not as it was mid-crash.
+	skipped := 0
+	for _, id := range cp.IDs[:cp.Pos] {
+		refs, ok := cp.Refs[id]
+		if !ok || d.lake.Get(id) == nil {
+			delete(cp.Refs, id)
+			skipped++
+			continue
+		}
+		if err := d.idx.ShadowAddRefs(id, refs); err != nil {
+			return err
+		}
+	}
+	d.update(func(p *Progress) {
+		p.Total = len(cp.IDs)
+		p.Done = cp.Pos
+		p.Skipped = skipped
+		p.Resumed = resumed
+	})
+
+	// Score the remaining suffix: one goroutine per batch gated by a
+	// concurrency semaphore, results committed strictly in scan order so the
+	// checkpoint is always a contiguous prefix.
+	pending := cp.IDs[cp.Pos:]
+	var batches [][]string
+	for len(pending) > 0 {
+		n := d.cfg.BatchSize
+		if n > len(pending) {
+			n = len(pending)
+		}
+		batches = append(batches, pending[:n])
+		pending = pending[n:]
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]chan batchResult, len(batches))
+	sem := make(chan struct{}, d.cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i := range batches {
+		results[i] = make(chan batchResult, 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-runCtx.Done():
+				results[i] <- batchResult{err: runCtx.Err()}
+				return
+			}
+			results[i] <- d.scoreBatch(runCtx, batches[i])
+		}(i)
+	}
+	defer wg.Wait() // no worker outlives Run, even on early error
+
+	var runErr error
+	for i := range batches {
+		r := <-results[i]
+		if runErr != nil {
+			continue // already failing: drain workers, commit nothing more
+		}
+		if r.err != nil {
+			runErr = r.err
+			cancel()
+			continue
+		}
+		batchSkipped := r.missing
+		for j, t := range r.tables {
+			refs, err := d.idx.ShadowAdd(t, r.preds[j])
+			if err != nil {
+				runErr = err
+				break
+			}
+			if refs == nil {
+				batchSkipped++ // tombstoned by a concurrent remove
+				continue
+			}
+			cp.Refs[t.ID] = refs
+			d.scored.Inc()
+		}
+		if runErr != nil {
+			cancel()
+			continue
+		}
+		cp.Pos += len(batches[i])
+		if err := d.cfg.Faults.Fire(runCtx, faultinject.RescoreCheckpoint); err != nil {
+			runErr = fmt.Errorf("rescore: checkpoint: %w", err)
+			cancel()
+			continue
+		}
+		if d.cfg.CheckpointPath != "" {
+			if err := cp.Save(d.cfg.CheckpointPath); err != nil {
+				runErr = err
+				cancel()
+				continue
+			}
+		}
+		d.update(func(p *Progress) {
+			p.Done = cp.Pos
+			p.Skipped += batchSkipped
+		})
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Scan complete: flip the shadow in. A crash before the flip (modeled by
+	// the RescoreSwap fault) leaves the old index serving and a complete
+	// cursor on disk — a resume replays it and retries just the flip.
+	if err := d.cfg.Faults.Fire(ctx, faultinject.RescoreSwap); err != nil {
+		return fmt.Errorf("rescore: swap: %w", err)
+	}
+	if !d.idx.CommitShadow() {
+		return errors.New("rescore: shadow build vanished before commit")
+	}
+	committed = true
+	if d.cfg.CheckpointPath != "" {
+		// The run is complete; a stale cursor must not resume into it.
+		if err := os.Remove(d.cfg.CheckpointPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("rescore: clear checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// scoreBatch fetches the batch's surviving tables from the lake and scores
+// them in one engine batch. Tables removed since the snapshot are skipped.
+func (d *Driver) scoreBatch(ctx context.Context, ids []string) batchResult {
+	tables := make([]*table.Table, 0, len(ids))
+	for _, id := range ids {
+		if t := d.lake.Get(id); t != nil {
+			tables = append(tables, t)
+		}
+	}
+	missing := len(ids) - len(tables)
+	if err := d.cfg.Faults.Fire(ctx, faultinject.RescoreBatch); err != nil {
+		return batchResult{err: fmt.Errorf("rescore: batch: %w", err)}
+	}
+	if len(tables) == 0 {
+		return batchResult{missing: missing}
+	}
+	preds, err := d.scorer.PredictBatchCtx(ctx, tables)
+	if err != nil {
+		return batchResult{err: err}
+	}
+	return batchResult{tables: tables, preds: preds, missing: missing}
+}

@@ -1,0 +1,386 @@
+package rescore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/sematype/pythagoras/internal/core"
+	"github.com/sematype/pythagoras/internal/discovery"
+	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/table"
+)
+
+func mkTable(id string, types ...string) *table.Table {
+	t := &table.Table{ID: id, Name: "tbl " + id}
+	for _, st := range types {
+		t.Columns = append(t.Columns, &table.Column{
+			Header: "h_" + st, SemanticType: st, Kind: table.KindNumeric,
+			NumValues: []float64{1, 2, 3},
+		})
+	}
+	return t
+}
+
+// predsFor is the fake model: deterministic per table and column, and
+// independent of batch composition — the property the real engine has and
+// the crash-resume bit-identity proof relies on.
+func predsFor(t *table.Table) []core.ColumnPrediction {
+	preds := make([]core.ColumnPrediction, 0, len(t.Columns))
+	for ci, c := range t.Columns {
+		preds = append(preds, core.ColumnPrediction{
+			ColIndex: ci, Header: c.Header, Kind: c.Kind,
+			Type:       c.SemanticType,
+			Confidence: 0.5 + float64(ci%4)/8,
+		})
+	}
+	return preds
+}
+
+// fakeScorer scores with predsFor, records which tables it was asked to
+// score, and optionally runs a hook before answering (to model concurrent
+// lake mutations landing mid-batch).
+type fakeScorer struct {
+	mu     sync.Mutex
+	scored []string
+	hook   func(ts []*table.Table)
+}
+
+func (f *fakeScorer) PredictBatchCtx(ctx context.Context, ts []*table.Table) ([][]core.ColumnPrediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if f.hook != nil {
+		f.hook(ts)
+	}
+	out := make([][]core.ColumnPrediction, len(ts))
+	f.mu.Lock()
+	for i, t := range ts {
+		f.scored = append(f.scored, t.ID)
+		out[i] = predsFor(t)
+	}
+	f.mu.Unlock()
+	return out, nil
+}
+
+func (f *fakeScorer) scoredIDs() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := map[string]int{}
+	for _, id := range f.scored {
+		m[id]++
+	}
+	return m
+}
+
+// seedLake fills a lake with n tables (t00…) and indexes them in idx with
+// stale "old model" confidences so the pre-rescore index is non-empty.
+func seedLake(n int) (*Lake, *discovery.SwapIndex) {
+	lake := NewLake()
+	idx := discovery.NewSwapIndex(0)
+	for i := 0; i < n; i++ {
+		t := mkTable(tableID(i), "price", "rating")
+		lake.Put(t)
+		stale := predsFor(t)
+		for j := range stale {
+			stale[j].Confidence = 0.25 // the old model's view
+		}
+		idx.AddPredictions(t, stale)
+	}
+	return lake, idx
+}
+
+func tableID(i int) string { return "t" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+// wantDump is the oracle: the canonical dump of a fresh index holding
+// predsFor of every lake table — what any complete re-score must produce.
+func wantDump(lake *Lake) []byte {
+	ix := discovery.NewTypeIndex(0)
+	for _, id := range lake.SnapshotIDs() {
+		t := lake.Get(id)
+		ix.AddPredictions(t, predsFor(t))
+	}
+	return ix.CanonicalDump()
+}
+
+func TestRunHappyPath(t *testing.T) {
+	lake, idx := seedLake(10)
+	old := idx.Current()
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	sc := &fakeScorer{}
+	d := New(lake, sc, idx, Config{ModelID: "m-new", BatchSize: 3, Concurrency: 2, CheckpointPath: ckpt})
+
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Progress()
+	if p.State != "done" || p.Total != 10 || p.Done != 10 || p.Skipped != 0 || p.Resumed {
+		t.Fatalf("progress = %+v", p)
+	}
+	if idx.Current() == old {
+		t.Fatal("index never flipped")
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatalf("rescored index diverges from oracle:\n%s", got)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("checkpoint not cleared after completion: %v", err)
+	}
+	// One-shot: a second Run must refuse.
+	if err := d.Run(context.Background()); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+// TestCrashResumeBitIdentity is the ISSUE's acceptance criterion: kill the
+// re-score at an injected fault point, resume from the persisted cursor
+// with a fresh driver, and the finished index is byte-identical to an
+// uninterrupted run's.
+func TestCrashResumeBitIdentity(t *testing.T) {
+	const n, batch = 11, 3 // deliberately not batch-aligned
+	oracle := func() []byte {
+		lake, _ := seedLake(n)
+		return wantDump(lake)
+	}()
+
+	lake, idx := seedLake(n)
+	old := idx.Current()
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	boom := errors.New("simulated crash")
+
+	// Crash at the 3rd checkpoint write — two batches are durable.
+	faults := faultinject.New().On(faultinject.RescoreCheckpoint,
+		faultinject.After(2, faultinject.Err(boom)))
+	sc1 := &fakeScorer{}
+	d1 := New(lake, sc1, idx, Config{
+		ModelID: "m-new", BatchSize: batch, Concurrency: 2,
+		CheckpointPath: ckpt, Faults: faults,
+	})
+	if err := d1.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want the injected crash", err)
+	}
+	if p := d1.Progress(); p.State != "failed" || p.Done != 2*batch {
+		t.Fatalf("crashed progress = %+v", p)
+	}
+	if idx.Current() != old {
+		t.Fatal("crashed run flipped the index")
+	}
+	cp, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("no durable cursor after crash: %v", err)
+	}
+	if cp.Pos != 2*batch || len(cp.Refs) != 2*batch {
+		t.Fatalf("cursor = pos %d, %d refs; want the 2-batch prefix", cp.Pos, len(cp.Refs))
+	}
+
+	// Resume: a fresh driver over the same cursor. The durable prefix is
+	// replayed, not re-scored.
+	sc2 := &fakeScorer{}
+	d2 := New(lake, sc2, idx, Config{
+		ModelID: "m-new", BatchSize: batch, Concurrency: 2, CheckpointPath: ckpt,
+	})
+	if err := d2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := d2.Progress()
+	if p.State != "done" || !p.Resumed || p.Total != n || p.Done != n {
+		t.Fatalf("resumed progress = %+v", p)
+	}
+	for id := range sc2.scoredIDs() {
+		for _, pre := range cp.IDs[:cp.Pos] {
+			if id == pre {
+				t.Fatalf("resume re-scored durable-prefix table %s", id)
+			}
+		}
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, oracle) {
+		t.Fatalf("resumed index is not bit-identical to an uninterrupted run:\n got:\n%s\nwant:\n%s", got, oracle)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("checkpoint survived a completed resume")
+	}
+}
+
+// TestSwapCrashResume crashes after the scan finished but before the flip:
+// the cursor is complete on disk, so the resume replays everything, scores
+// nothing, and retries just the flip.
+func TestSwapCrashResume(t *testing.T) {
+	lake, idx := seedLake(6)
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	boom := errors.New("crash before flip")
+
+	faults := faultinject.New().On(faultinject.RescoreSwap, faultinject.Times(1, faultinject.Err(boom)))
+	d1 := New(lake, &fakeScorer{}, idx, Config{
+		ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt, Faults: faults,
+	})
+	if err := d1.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v", err)
+	}
+	cp, err := LoadCheckpoint(ckpt)
+	if err != nil || cp.Pos != 6 {
+		t.Fatalf("cursor after swap-crash: %+v, %v", cp, err)
+	}
+
+	sc2 := &fakeScorer{}
+	d2 := New(lake, sc2, idx, Config{ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt})
+	if err := d2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc2.scoredIDs()) != 0 {
+		t.Fatalf("flip-retry re-scored tables: %v", sc2.scoredIDs())
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatal("flip-retry index diverges from oracle")
+	}
+}
+
+func TestCancelMidRunLeavesOldIndex(t *testing.T) {
+	lake, idx := seedLake(9)
+	old := idx.Current()
+	oldDump := old.CanonicalDump()
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The operator cancels (rollback) while the second batch is on the engine.
+	faults := faultinject.New().On(faultinject.RescoreBatch,
+		faultinject.After(1, faultinject.Cancel(cancel)))
+	d := New(lake, &fakeScorer{}, idx, Config{
+		ModelID: "m-new", BatchSize: 3, Concurrency: 1,
+		CheckpointPath: ckpt, Faults: faults,
+	})
+	err := d.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if p := d.Progress(); p.State != "cancelled" {
+		t.Fatalf("state = %q, want cancelled", p.State)
+	}
+	if idx.Current() != old || !bytes.Equal(idx.Current().CanonicalDump(), oldDump) {
+		t.Fatal("cancelled run disturbed the serving index")
+	}
+	if idx.ShadowActive() {
+		t.Fatal("shadow leaked after cancellation")
+	}
+	// The old index still answers queries.
+	if cols := idx.Current().Columns("price"); len(cols) != 9 {
+		t.Fatalf("old index damaged: %d price columns", len(cols))
+	}
+}
+
+func TestModelMismatchStartsFresh(t *testing.T) {
+	lake, idx := seedLake(4)
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	stale := &Checkpoint{
+		Version: CheckpointVersion, ModelID: "m-old",
+		IDs: lake.SnapshotIDs(), Pos: 2,
+		Refs: map[string][]discovery.ColumnRef{
+			lake.SnapshotIDs()[0]: nil, lake.SnapshotIDs()[1]: nil,
+		},
+	}
+	if err := stale.Save(ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &fakeScorer{}
+	d := New(lake, sc, idx, Config{ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt})
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Progress()
+	if p.Resumed {
+		t.Fatal("resumed another model's cursor")
+	}
+	if got := len(sc.scoredIDs()); got != 4 {
+		t.Fatalf("fresh run scored %d tables, want all 4", got)
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatal("index diverges from oracle")
+	}
+}
+
+// TestResumeSkipsVanishedTables: tables in the durable prefix that left the
+// lake before the resume are dropped, not replayed — the new index reflects
+// the lake as it is.
+func TestResumeSkipsVanishedTables(t *testing.T) {
+	lake, idx := seedLake(6)
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	boom := errors.New("crash")
+	faults := faultinject.New().On(faultinject.RescoreCheckpoint,
+		faultinject.After(1, faultinject.Err(boom)))
+	d1 := New(lake, &fakeScorer{}, idx, Config{
+		ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt, Faults: faults,
+	})
+	if err := d1.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v", err)
+	}
+	cp, err := LoadCheckpoint(ckpt)
+	if err != nil || cp.Pos != 2 {
+		t.Fatalf("cursor = %+v, %v", cp, err)
+	}
+	gone := cp.IDs[0] // in the durable prefix
+	lake.Remove(gone)
+	idx.Remove(gone)
+
+	d2 := New(lake, &fakeScorer{}, idx, Config{ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt})
+	if err := d2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := d2.Progress()
+	if p.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", p.Skipped)
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatal("index diverges from post-removal oracle")
+	}
+}
+
+// TestConcurrentRemoveTombstones models an operator deleting a table while
+// its batch is on the engine: the scorer's hook removes it through the
+// SwapIndex mid-batch, so ShadowAdd must tombstone-skip it and the flipped
+// index must not resurrect it.
+func TestConcurrentRemoveTombstones(t *testing.T) {
+	lake, idx := seedLake(6)
+	victim := lake.SnapshotIDs()[3]
+	sc := &fakeScorer{}
+	sc.hook = func(ts []*table.Table) {
+		for _, tb := range ts {
+			if tb.ID == victim {
+				lake.Remove(victim)
+				idx.Remove(victim)
+			}
+		}
+	}
+	d := New(lake, sc, idx, Config{ModelID: "m-new", BatchSize: 2})
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := d.Progress()
+	if p.State != "done" || p.Skipped != 1 {
+		t.Fatalf("progress = %+v, want done with 1 skipped", p)
+	}
+	dump := idx.Current().CanonicalDump()
+	if bytes.Contains(dump, []byte(victim)) {
+		t.Fatalf("removed table %s resurrected by in-flight batch:\n%s", victim, dump)
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatal("index diverges from post-removal oracle")
+	}
+}
+
+// TestInMemoryRun: an empty CheckpointPath disables durability but the run
+// still completes and flips.
+func TestInMemoryRun(t *testing.T) {
+	lake, idx := seedLake(5)
+	d := New(lake, &fakeScorer{}, idx, Config{ModelID: "m-new", BatchSize: 2})
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatal("in-memory run diverges from oracle")
+	}
+}

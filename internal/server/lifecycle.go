@@ -201,7 +201,7 @@ func (s *Server) shadowSampled() bool {
 	case s.shadowSample >= 1:
 		return true
 	}
-	u := float64(splitmix64(s.shadowSeed+s.shadowSeq.Add(1))>>11) / float64(1 << 53)
+	u := float64(splitmix64(s.shadowSeed+s.shadowSeq.Add(1))>>11) / float64(1<<53)
 	return u < s.shadowSample
 }
 
@@ -433,6 +433,9 @@ func (s *Server) handleModelsPromote(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "no candidate is shadowing")
 		return
 	}
+	// A re-score scoring on the outgoing primary is obsolete the moment the
+	// pointer moves — cancel it; the operator re-runs it on the new primary.
+	s.cancelRescore("primary promoted mid-rescore")
 	promoted := &modelSlot{
 		id:       cand.id,
 		path:     cand.path,
@@ -482,6 +485,12 @@ func (s *Server) handleModelsRollback(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "nothing to roll back: no candidate and no previous primary")
 		return
 	}
+	// Rolling the primary back mid-rescore cancels the re-score: it is
+	// scoring on the model being rolled away from. The shadow build aborts,
+	// the old index keeps serving untouched, and the durable cursor stays on
+	// disk (a later re-score by the same model resumes it; any other model
+	// starts fresh).
+	s.cancelRescore("rollback")
 	restored := &modelSlot{
 		id:       prev.id,
 		path:     prev.path,

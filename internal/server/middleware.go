@@ -196,14 +196,16 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 // admission middleware: health/readiness checks, metrics scrapes, trace and
 // SLO reads and the debug endpoints must stay reachable under overload and
 // during drain — an operator diagnosing a saturated instance needs exactly
-// those. The model lifecycle control plane (/v1/models*) is exempt for the
-// same reason: rolling back a bad model is precisely what an operator does
-// while the instance is overloaded by it. Exempt paths are also excluded
-// from SLO accounting: a probe is not user traffic.
+// those. The model lifecycle and re-score control planes (/v1/models*,
+// /v1/index/rescore) are exempt for the same reason: rolling back a bad
+// model — which also cancels a re-score running on it — is precisely what
+// an operator does while the instance is overloaded by it. Exempt paths are
+// also excluded from SLO accounting: a probe is not user traffic.
 func exemptFromLimits(path string) bool {
 	return path == "/v1/healthz" || path == "/v1/readyz" ||
 		path == "/v1/metrics" || path == "/v1/traces" || path == "/v1/slo" ||
 		path == "/v1/models" || strings.HasPrefix(path, "/v1/models/") ||
+		path == "/v1/index/rescore" ||
 		strings.HasPrefix(path, "/debug/")
 }
 

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/sematype/pythagoras/internal/faultinject"
+)
+
+// rescoreStatus decodes one GET /v1/index/rescore.
+func rescoreStatus(t *testing.T, s *Server) RescoreResponse {
+	t.Helper()
+	rec := getPath(t, s, "/v1/index/rescore")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/index/rescore = %d: %s", rec.Code, rec.Body)
+	}
+	var resp RescoreResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode rescore status: %v: %s", err, rec.Body)
+	}
+	return resp
+}
+
+// waitRescore polls the status endpoint until the run reaches one of the
+// wanted states; any other terminal state fails the test.
+func waitRescore(t *testing.T, s *Server, want ...string) RescoreResponse {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp := rescoreStatus(t, s)
+		for _, w := range want {
+			if resp.State == w {
+				return resp
+			}
+		}
+		switch resp.State {
+		case "idle", "pending", "running":
+		default:
+			t.Fatalf("rescore reached %q (error %q), want one of %v", resp.State, resp.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("rescore never reached %v", want)
+	return RescoreResponse{}
+}
+
+// TestRescoreEndToEnd: index tables, kick a re-score, poll to completion —
+// the serving index pointer flips to a fresh index with identical content
+// (same model re-scored the same lake) and the durable cursor is cleared.
+func TestRescoreEndToEnd(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	s := trainedServer(t, WithRescoreCheckpoint(ckpt), WithRescoreBatch(2))
+	defer drain(t, s)
+
+	if got := rescoreStatus(t, s); got.State != "idle" {
+		t.Fatalf("pre-run state = %q, want idle", got.State)
+	}
+
+	ids := []string{"t1", "t2", "t3", "t4", "t5"}
+	for _, id := range ids {
+		if rec := postJSON(t, s, "/v1/index", sampleRequest(id)); rec.Code != http.StatusOK {
+			t.Fatalf("index %s = %d: %s", id, rec.Code, rec.Body)
+		}
+	}
+	old := s.Index()
+	oldDump := old.CanonicalDump()
+
+	rec := postJSON(t, s, "/v1/index/rescore", nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /v1/index/rescore = %d: %s", rec.Code, rec.Body)
+	}
+	var started RescoreResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &started); err != nil {
+		t.Fatal(err)
+	}
+	if started.Checkpoint != ckpt {
+		t.Fatalf("reported checkpoint %q, want %q", started.Checkpoint, ckpt)
+	}
+
+	done := waitRescore(t, s, "done")
+	if done.Total != len(ids) || done.Done != len(ids) || done.Skipped != 0 {
+		t.Fatalf("final progress = %+v", done)
+	}
+	cur := s.Index()
+	if cur == old {
+		t.Fatal("index pointer never flipped")
+	}
+	// Same model, same lake, deterministic engine: content is unchanged even
+	// though the index object is new.
+	if got := cur.CanonicalDump(); !bytes.Equal(got, oldDump) {
+		t.Fatalf("re-score with the same model changed the index:\n got:\n%s\nwant:\n%s", got, oldDump)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("cursor not cleared after completion: %v", err)
+	}
+}
+
+// TestRollbackCancelsRescore is the ISSUE's lifecycle chaos case: promote a
+// new primary, start a re-score stretched by an injected per-batch stall,
+// roll back mid-scan — the run cancels cleanly and queries keep seeing the
+// pre-rescore index.
+func TestRollbackCancelsRescore(t *testing.T) {
+	srvFaults := faultinject.New().On(faultinject.RescoreBatch, faultinject.Sleep(200*time.Millisecond))
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	s := chaosServer(t, nil, srvFaults, WithRescoreCheckpoint(ckpt), WithRescoreBatch(1))
+	defer drain(t, s)
+
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if rec := postJSON(t, s, "/v1/index", sampleRequest(id)); rec.Code != http.StatusOK {
+			t.Fatalf("index %s = %d", id, rec.Code)
+		}
+	}
+	old := s.Index()
+	oldDump := old.CanonicalDump()
+
+	path := savedCheckpoint(t, t.TempDir(), "v2.bin", false)
+	modelsPost(t, s, "/v1/models", ModelsRequest{ID: "v2", Path: path}, http.StatusOK)
+	modelsPost(t, s, "/v1/models/promote", nil, http.StatusOK)
+
+	if rec := postJSON(t, s, "/v1/index/rescore", nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("start rescore = %d: %s", rec.Code, rec.Body)
+	}
+	// One re-score at a time.
+	if rec := postJSON(t, s, "/v1/index/rescore", nil); rec.Code != http.StatusConflict {
+		t.Fatalf("second rescore = %d, want 409", rec.Code)
+	}
+	if got := rescoreStatus(t, s); got.ModelID != "v2" {
+		t.Fatalf("rescore running on model %q, want v2", got.ModelID)
+	}
+
+	// Operator pulls the new primary while the scan crawls.
+	st := modelsPost(t, s, "/v1/models/rollback", nil, http.StatusOK)
+	if st.Primary == nil || st.Primary.ID != "boot" {
+		t.Fatalf("rollback restored %+v", st.Primary)
+	}
+	fin := waitRescore(t, s, "cancelled")
+	if fin.Done == fin.Total {
+		t.Fatalf("run completed (%d/%d) before the rollback landed — stall too short", fin.Done, fin.Total)
+	}
+
+	// The old index serves untouched, no shadow left behind.
+	if s.Index() != old || !bytes.Equal(s.Index().CanonicalDump(), oldDump) {
+		t.Fatal("cancelled re-score disturbed the serving index")
+	}
+	if rec := getPath(t, s, "/v1/types"); rec.Code != http.StatusOK {
+		t.Fatalf("discovery queries broken after cancel: %d", rec.Code)
+	}
+	// A fresh run may start now that the previous one is terminal.
+	if rec := postJSON(t, s, "/v1/index/rescore", nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("restart after cancel = %d: %s", rec.Code, rec.Body)
+	}
+	waitRescore(t, s, "done", "cancelled")
+}
+
+// TestPromoteCancelsRescore: promoting a new primary invalidates a re-score
+// running on the old one — the driver is scoring with a model that is no
+// longer primary, so promote cancels it the same way rollback does.
+func TestPromoteCancelsRescore(t *testing.T) {
+	srvFaults := faultinject.New().On(faultinject.RescoreBatch, faultinject.Sleep(200*time.Millisecond))
+	s := chaosServer(t, nil, srvFaults, WithRescoreBatch(1))
+
+	for _, id := range []string{"a", "b", "c", "d", "e", "f"} {
+		if rec := postJSON(t, s, "/v1/index", sampleRequest(id)); rec.Code != http.StatusOK {
+			t.Fatalf("index %s = %d", id, rec.Code)
+		}
+	}
+	if rec := postJSON(t, s, "/v1/index/rescore", nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("start rescore = %d", rec.Code)
+	}
+
+	path := savedCheckpoint(t, t.TempDir(), "v2.bin", false)
+	modelsPost(t, s, "/v1/models", ModelsRequest{ID: "v2", Path: path}, http.StatusOK)
+	modelsPost(t, s, "/v1/models/promote", nil, http.StatusOK)
+
+	fin := waitRescore(t, s, "cancelled")
+	if fin.ModelID != "boot" {
+		t.Fatalf("cancelled run's model = %q, want boot", fin.ModelID)
+	}
+	// The lifecycle left a consistent story in the metrics.
+	drain(t, s)
+	snap := s.Metrics().Snapshot()
+	for _, key := range []string{
+		`rescore.events{event="rescore-start"}`,
+		`rescore.events{event="rescore-cancel"}`,
+	} {
+		if snap.Counters[key] < 1 {
+			t.Fatalf("metric %s = %d, want >= 1", key, snap.Counters[key])
+		}
+	}
+}

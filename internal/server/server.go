@@ -29,6 +29,13 @@
 //	GET  /v1/slo       → SLO status: objectives, windowed good/bad counts,
 //	                   remaining error budget and multi-window burn rates
 //	                   (DESIGN.md §13)
+//	POST /v1/index/rescore
+//	                   start a background lake re-score: every retained
+//	                   table is re-typed on the current primary model and
+//	                   the discovery index flips atomically on completion
+//	                   (rescore.go, DESIGN.md §15)
+//	GET  /v1/index/rescore
+//	                   → re-score progress: cursor position, totals, state
 //	POST /v1/models    load a candidate checkpoint for shadow scoring;
 //	GET  /v1/models    with POST /v1/models/promote and /rollback these
 //	                   drive the zero-downtime model lifecycle state
@@ -77,6 +84,7 @@ import (
 	"github.com/sematype/pythagoras/internal/obs/logz"
 	"github.com/sematype/pythagoras/internal/obs/slo"
 	"github.com/sematype/pythagoras/internal/par"
+	"github.com/sematype/pythagoras/internal/rescore"
 	"github.com/sematype/pythagoras/internal/table"
 )
 
@@ -134,7 +142,21 @@ type Server struct {
 	engineMaxBatch int
 	drained        *obs.Counter // models.engines.drained — retired engines fully released
 
-	index   *discovery.TypeIndex
+	// index is the discovery index behind snapshot-isolated swapping:
+	// queries pin index.Current(), mutations dual-write through the holder,
+	// and a completed lake re-score flips the pointer atomically
+	// (DESIGN.md §15). lake retains every indexed table so a re-score can
+	// re-type the corpus. rescore tracks the at-most-one background
+	// re-score run (rescore.go).
+	index   *discovery.SwapIndex
+	lake    *rescore.Lake
+	rescore rescoreState
+
+	// rescoreCkpt/rescoreBatch configure re-score runs: the durable cursor
+	// path ("" = in-memory only) and the engine batch size.
+	rescoreCkpt  string
+	rescoreBatch int
+
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the middleware chain
 	metrics *obs.Registry
@@ -272,6 +294,24 @@ func WithModelID(id string) Option {
 	return func(s *Server) { s.primaryID = id }
 }
 
+// WithRescoreCheckpoint sets the durable cursor path for lake re-score runs
+// (POST /v1/index/rescore): progress checkpoints land there after every
+// committed batch, and a restarted process resumes from it. Empty (the
+// default) keeps the cursor in memory only — a crash restarts the scan.
+func WithRescoreCheckpoint(path string) Option {
+	return func(s *Server) { s.rescoreCkpt = path }
+}
+
+// WithRescoreBatch sets how many tables a re-score scores per engine batch
+// (values < 1 keep the default 16).
+func WithRescoreBatch(n int) Option {
+	return func(s *Server) {
+		if n >= 1 {
+			s.rescoreBatch = n
+		}
+	}
+}
+
 // New builds a server around a trained model. minConfidence filters what
 // enters the discovery index.
 func New(m *core.Model, minConfidence float64, opts ...Option) *Server {
@@ -284,7 +324,9 @@ func New(m *core.Model, minConfidence float64, opts ...Option) *Server {
 // otherwise the engine's.
 func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Server {
 	s := &Server{
-		index:        discovery.NewTypeIndex(minConfidence),
+		index:        discovery.NewSwapIndex(minConfidence),
+		lake:         rescore.NewLake(),
+		rescoreBatch: 16,
 		mux:          http.NewServeMux(),
 		idPrefix:     newIDPrefix(),
 		shadowSample: 1,
@@ -365,6 +407,8 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 	s.route("GET /v1/metrics", s.handleMetrics)
 	s.route("GET /v1/traces", s.handleTraces)
 	s.route("GET /v1/slo", s.handleSLO)
+	s.route("POST /v1/index/rescore", s.handleRescoreStart)
+	s.route("GET /v1/index/rescore", s.handleRescoreStatus)
 	s.route("POST /v1/models", s.handleModelsLoad)
 	s.route("GET /v1/models", s.handleModelsStatus)
 	s.route("POST /v1/models/promote", s.handleModelsPromote)
@@ -392,6 +436,10 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 // which closes the listeners. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// A background lake re-score must not outlive the server: cancel it
+	// (the durable cursor survives for the next process to resume) and,
+	// after the request drain below, wait for its goroutine to unwind.
+	s.cancelRescore("shutdown")
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for s.inflight.Load() > 0 {
@@ -415,6 +463,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-shadowDone:
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown aborted with shadow scoring in flight: %w", ctx.Err())
+	}
+	if err := s.awaitRescore(ctx); err != nil {
+		return fmt.Errorf("server: shutdown aborted with a lake re-score in flight: %w", err)
 	}
 	if s.logger != nil {
 		if raw, err := json.Marshal(s.metrics.Snapshot()); err == nil {
@@ -457,8 +508,13 @@ func (s *Server) primaryEngine() *infer.Engine {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// Index exposes the underlying discovery index.
-func (s *Server) Index() *discovery.TypeIndex { return s.index }
+// Index exposes the currently served discovery index snapshot. A completed
+// lake re-score replaces it wholesale — callers issuing several related
+// queries should pin one Index() result and run them all against it.
+func (s *Server) Index() *discovery.TypeIndex { return s.index.Current() }
+
+// Lake exposes the retained-table store a re-score walks.
+func (s *Server) Lake() *rescore.Lake { return s.lake }
 
 // Metrics exposes the server's metrics registry.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
@@ -807,7 +863,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// One inference pass serves both the response and the index update.
+	// One inference pass serves both the response and the index update. The
+	// lake retains the table itself so a model upgrade can re-type it
+	// (POST /v1/index/rescore); the SwapIndex dual-writes into any shadow
+	// build in progress so a concurrent re-score cannot lose this add.
+	s.lake.Put(t)
 	s.index.AddPredictions(t, preds)
 	resp := toResponse(t, preds)
 	resp.Indexed = true
@@ -828,19 +888,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, SearchResponse{
 		Types:  types,
-		Tables: s.index.TablesWithAll(types...),
+		Tables: s.index.Current().TablesWithAll(types...),
 	})
 }
 
 func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"indexed":    s.index.Types(),
+		"indexed":    s.index.Current().Types(),
 		"vocabulary": s.modelTypes(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.index.Stats()
+	st := s.index.Current().Stats()
 	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
 		// Load balancers poll this endpoint: a draining instance must fail
@@ -909,7 +969,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"type":       st,
-		"candidates": s.index.JoinCandidates(st, limit),
+		"candidates": s.index.Current().JoinCandidates(st, limit),
 	})
 }
 
@@ -928,7 +988,7 @@ func (s *Server) handleUnion(w http.ResponseWriter, r *http.Request) {
 		}
 		k = n
 	}
-	cands, err := s.index.UnionCandidates(id, k)
+	cands, err := s.index.Current().UnionCandidates(id, k)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return

@@ -224,6 +224,15 @@ func TestJoinAndUnionEndpoints(t *testing.T) {
 	if len(joinBody.Candidates) != 2 {
 		t.Fatalf("join candidates = %d, want limit 2", len(joinBody.Candidates))
 	}
+	// Candidates identify columns by position, not just header — duplicate
+	// headers are routine in scraped lakes.
+	for _, c := range joinBody.Candidates {
+		for _, key := range []string{"LeftColIndex", "RightColIndex"} {
+			if _, ok := c[key]; !ok {
+				t.Fatalf("join candidate missing %s: %v", key, c)
+			}
+		}
+	}
 
 	req = httptest.NewRequest(http.MethodGet, "/v1/union?table=t1&k=5", nil)
 	rec3 := httptest.NewRecorder()
