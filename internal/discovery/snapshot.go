@@ -12,10 +12,13 @@
 //
 // Live mutations during a shadow build dual-write: an add or remove lands
 // in the current index (queries must see it now) and in the shadow (the
-// flip must not lose it). Removes additionally leave a tombstone so a
-// re-score batch that already fetched the removed table cannot resurrect
-// it into the shadow — the remove happened after the scan snapshot, so the
-// new index must honor it.
+// flip must not lose it). Every dual-write also marks its table ID as
+// superseded for the rest of the build: the live mutation happened after
+// the re-score's scan fetched the table, so whatever the scan eventually
+// writes for that ID is stale. A superseded ID makes ShadowAdd and
+// ShadowAddRefs no-ops — a remove cannot be resurrected by an in-flight
+// batch, and an acknowledged live re-add cannot be overwritten by the
+// older version the scan fetched before it landed.
 package discovery
 
 import (
@@ -39,9 +42,13 @@ type SwapIndex struct {
 	// mu serializes mutations (so current and shadow always apply them in
 	// the same order) and guards the shadow build state. Queries never take
 	// it — Current is a plain atomic load.
-	mu         sync.Mutex
-	shadow     *TypeIndex
-	tombstones map[string]struct{}
+	mu     sync.Mutex
+	shadow *TypeIndex
+	// superseded holds the IDs every live dual-write (add or remove) touched
+	// during the active build. The shadow already carries their newest state,
+	// so the re-score driver's writes for them — computed from a fetch that
+	// predates the live mutation — are dropped, not applied.
+	superseded map[string]struct{}
 }
 
 // NewSwapIndex returns a SwapIndex serving a fresh empty TypeIndex with the
@@ -62,15 +69,15 @@ func (s *SwapIndex) MinConfidence() float64 { return s.minConfidence }
 
 // AddPredictions indexes predictions for t in the current index and, when a
 // shadow build is active, in the shadow — a table indexed mid-rescore
-// survives the flip. A live re-add also clears any tombstone: the table is
-// back, typed by the model serving right now.
+// survives the flip. The ID is marked superseded: these refs are newer than
+// anything the re-score's scan can produce for it.
 func (s *SwapIndex) AddPredictions(t *table.Table, preds []core.ColumnPrediction) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := s.cur.Load().AddPredictions(t, preds)
 	if s.shadow != nil {
 		s.shadow.AddPredictions(t, preds)
-		delete(s.tombstones, t.ID)
+		s.superseded[t.ID] = struct{}{}
 	}
 	return n
 }
@@ -82,21 +89,21 @@ func (s *SwapIndex) AddLabeled(t *table.Table) int {
 	n := s.cur.Load().AddLabeled(t)
 	if s.shadow != nil {
 		s.shadow.AddLabeled(t)
-		delete(s.tombstones, t.ID)
+		s.superseded[t.ID] = struct{}{}
 	}
 	return n
 }
 
 // Remove drops a table from the current index and, when a shadow build is
-// active, from the shadow — leaving a tombstone so an in-flight re-score
-// batch cannot re-insert what an operator just deleted.
+// active, from the shadow — marking the ID superseded so an in-flight
+// re-score batch cannot re-insert what an operator just deleted.
 func (s *SwapIndex) Remove(tableID string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cur.Load().Remove(tableID)
 	if s.shadow != nil {
 		s.shadow.Remove(tableID)
-		s.tombstones[tableID] = struct{}{}
+		s.superseded[tableID] = struct{}{}
 	}
 }
 
@@ -111,7 +118,7 @@ func (s *SwapIndex) BeginShadow() error {
 		return fmt.Errorf("discovery: a shadow build is already active")
 	}
 	s.shadow = NewTypeIndex(s.minConfidence)
-	s.tombstones = map[string]struct{}{}
+	s.superseded = map[string]struct{}{}
 	return nil
 }
 
@@ -125,15 +132,17 @@ func (s *SwapIndex) ShadowActive() bool {
 // ShadowAdd indexes re-scored predictions for t into the shadow only and
 // returns the refs it installed — the caller persists them in the scan
 // checkpoint so a resumed re-score replays them instead of re-scoring. A
-// nil result with a nil error means the table was tombstoned (removed
-// since the scan snapshot) and deliberately skipped.
+// nil result with a nil error means a live dual-write superseded the scan's
+// copy of the table (removed, or re-added with newer data, after the scan
+// fetched it) and the write was deliberately skipped — the shadow already
+// holds the authoritative state.
 func (s *SwapIndex) ShadowAdd(t *table.Table, preds []core.ColumnPrediction) ([]ColumnRef, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.shadow == nil {
 		return nil, fmt.Errorf("discovery: no shadow build active")
 	}
-	if _, gone := s.tombstones[t.ID]; gone {
+	if _, newer := s.superseded[t.ID]; newer {
 		return nil, nil
 	}
 	refs := predRefs(t, preds, s.minConfidence)
@@ -143,7 +152,7 @@ func (s *SwapIndex) ShadowAdd(t *table.Table, preds []core.ColumnPrediction) ([]
 
 // ShadowAddRefs replays checkpointed refs for tableID into the shadow — the
 // resume path, which must reproduce the interrupted run's index without
-// re-scoring the already-durable prefix. Tombstoned tables are skipped like
+// re-scoring the already-durable prefix. Superseded tables are skipped like
 // in ShadowAdd.
 func (s *SwapIndex) ShadowAddRefs(tableID string, refs []ColumnRef) error {
 	s.mu.Lock()
@@ -151,7 +160,7 @@ func (s *SwapIndex) ShadowAddRefs(tableID string, refs []ColumnRef) error {
 	if s.shadow == nil {
 		return fmt.Errorf("discovery: no shadow build active")
 	}
-	if _, gone := s.tombstones[tableID]; gone {
+	if _, newer := s.superseded[tableID]; newer {
 		return nil
 	}
 	s.shadow.setRefs(tableID, append([]ColumnRef(nil), refs...))
@@ -171,7 +180,7 @@ func (s *SwapIndex) CommitShadow() bool {
 	}
 	s.cur.Store(s.shadow)
 	s.shadow = nil
-	s.tombstones = nil
+	s.superseded = nil
 	return true
 }
 
@@ -181,5 +190,5 @@ func (s *SwapIndex) AbortShadow() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.shadow = nil
-	s.tombstones = nil
+	s.superseded = nil
 }

@@ -88,19 +88,54 @@ func TestSwapIndexTombstones(t *testing.T) {
 		t.Fatalf("removed table resurrected: %d tables post-flip", got)
 	}
 
-	// A live re-add clears the tombstone: the table is legitimately back.
+	// A live re-add supersedes the scan's copy: the table is legitimately
+	// back, carried by the dual-write — the driver's later ShadowAdd of the
+	// version it fetched before the re-add is dropped, not applied.
 	if err := s.BeginShadow(); err != nil {
 		t.Fatal(err)
 	}
 	s.Remove("doomed")
 	s.AddLabeled(doomed)
 	refs, err = s.ShadowAdd(doomed, labeledPreds(doomed, 0.9))
-	if err != nil || len(refs) != 1 {
-		t.Fatalf("re-added table rejected by shadow: refs=%v err=%v", refs, err)
+	if err != nil || refs != nil {
+		t.Fatalf("stale ShadowAdd after a live re-add must skip: refs=%v err=%v", refs, err)
 	}
 	s.CommitShadow()
 	if got := s.Current().Stats().Tables; got != 1 {
 		t.Fatalf("re-added table missing post-flip: %d tables", got)
+	}
+}
+
+// TestSwapIndexLiveRewriteNotLost is the lost-update regression: the
+// re-score scan fetches a table, a live re-add then dual-writes newer refs
+// into the shadow, and the driver's ShadowAdd (and, on the resume path,
+// ShadowAddRefs) of the stale fetch lands last. The acknowledged live
+// update must survive the flip.
+func TestSwapIndexLiveRewriteNotLost(t *testing.T) {
+	s := NewSwapIndex(0)
+	tb := labeledTable("hot", "price")
+	s.AddPredictions(tb, labeledPreds(tb, 0.3))
+
+	if err := s.BeginShadow(); err != nil {
+		t.Fatal(err)
+	}
+	// Scan "fetched" tb with confidence 0.3 here. The live re-add lands
+	// first with the newer 0.9 view…
+	s.AddPredictions(tb, labeledPreds(tb, 0.9))
+	// …then the driver's stale writes arrive. Both forms must skip.
+	refs, err := s.ShadowAdd(tb, labeledPreds(tb, 0.3))
+	if err != nil || refs != nil {
+		t.Fatalf("stale ShadowAdd overwrote a live update: refs=%v err=%v", refs, err)
+	}
+	if err := s.ShadowAddRefs("hot", []ColumnRef{{TableID: "hot", Type: "price", Confidence: 0.3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CommitShadow() {
+		t.Fatal("CommitShadow = false")
+	}
+	cols := s.Current().Columns("price")
+	if len(cols) != 1 || cols[0].Confidence != 0.9 {
+		t.Fatalf("live update lost at the flip: %+v", cols)
 	}
 }
 

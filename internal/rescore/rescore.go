@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -21,6 +22,14 @@ import (
 	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/table"
 )
+
+// ErrLakeMismatch is returned by Run when a resumed checkpoint references
+// mostly tables the lake no longer holds. The lake is in-memory: after a
+// process restart it is empty until the serving layer repopulates it, and
+// replaying a cursor against it would flip in a near-empty index — strictly
+// worse than refusing. Repopulate the lake (re-index the tables) before
+// resuming, or delete the checkpoint to start fresh.
+var ErrLakeMismatch = errors.New("rescore: checkpoint references tables missing from the lake")
 
 // Scorer is the slice of infer.Engine the driver needs — batch inference
 // with context cancellation. Narrowing to an interface keeps the package
@@ -61,8 +70,9 @@ type Progress struct {
 	// Total is the scan snapshot size; Done the committed cursor position.
 	Total int `json:"total"`
 	Done  int `json:"done"`
-	// Skipped counts snapshot tables that vanished from the lake (or were
-	// tombstoned by a concurrent remove) before they could be committed.
+	// Skipped counts snapshot tables that vanished from the lake, or whose
+	// scan write was superseded by a concurrent live add/remove, before they
+	// could be committed.
 	Skipped int `json:"skipped"`
 	// Resumed reports whether this run continued a persisted cursor.
 	Resumed    bool      `json:"resumed"`
@@ -194,8 +204,72 @@ func (d *Driver) loadOrInit() (*Checkpoint, bool) {
 	}, false
 }
 
+// checkResumable refuses to resume a cursor whose tables are mostly gone
+// from the lake — the signature of a process restart without the lake being
+// repopulated (see ErrLakeMismatch). A minority of absent tables is normal
+// churn (operators remove tables mid-scan) and resumes fine.
+func (d *Driver) checkResumable(cp *Checkpoint) error {
+	if len(cp.IDs) == 0 {
+		return nil
+	}
+	present := 0
+	for _, id := range cp.IDs {
+		if d.lake.Get(id) != nil {
+			present++
+		}
+	}
+	if present*2 < len(cp.IDs) {
+		return fmt.Errorf("%w: %d of %d checkpointed tables present — repopulate the lake before resuming, or delete %s to start fresh",
+			ErrLakeMismatch, present, len(cp.IDs), d.cfg.CheckpointPath)
+	}
+	return nil
+}
+
+// reconcile folds lake changes the frozen cursor cannot know about into a
+// resumed scan. Two kinds exist: tables added to the lake after the
+// interrupted run froze its snapshot (they are in no scan and were
+// dual-written only into a shadow that died with the crash — without this
+// they silently vanish from the discovery index at the flip), and
+// completed-prefix tables with no checkpointed refs (their ShadowAdd was
+// superseded by a live dual-write during the interrupted run). Both sets
+// join the pending suffix — sorted, duplicate-free — and are scored like
+// any other unscanned table.
+func (d *Driver) reconcile(cp *Checkpoint) {
+	inSnap := make(map[string]struct{}, len(cp.IDs))
+	for _, id := range cp.IDs {
+		inSnap[id] = struct{}{}
+	}
+	var requeue []string
+	for _, id := range d.lake.SnapshotIDs() {
+		if _, ok := inSnap[id]; !ok {
+			requeue = append(requeue, id)
+		}
+	}
+	done := make([]string, 0, cp.Pos)
+	for _, id := range cp.IDs[:cp.Pos] {
+		if _, ok := cp.Refs[id]; ok {
+			done = append(done, id)
+		} else {
+			requeue = append(requeue, id)
+		}
+	}
+	if len(requeue) == 0 {
+		return
+	}
+	pending := append(requeue, cp.IDs[cp.Pos:]...)
+	sort.Strings(pending)
+	cp.IDs = append(done, pending...)
+	cp.Pos = len(done)
+}
+
 func (d *Driver) run(ctx context.Context) error {
 	cp, resumed := d.loadOrInit()
+	if resumed {
+		if err := d.checkResumable(cp); err != nil {
+			return err
+		}
+		d.reconcile(cp)
+	}
 	if err := d.idx.BeginShadow(); err != nil {
 		return err
 	}
@@ -283,7 +357,7 @@ func (d *Driver) run(ctx context.Context) error {
 				break
 			}
 			if refs == nil {
-				batchSkipped++ // tombstoned by a concurrent remove
+				batchSkipped++ // superseded by a concurrent live remove or re-add
 				continue
 			}
 			cp.Refs[t.ID] = refs

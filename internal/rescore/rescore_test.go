@@ -372,6 +372,170 @@ func TestConcurrentRemoveTombstones(t *testing.T) {
 	}
 }
 
+// TestResumePicksUpLakeAdds: tables indexed after the interrupted run froze
+// its snapshot (live adds while it ran, or adds between the crash and the
+// resume) are unknown to the cursor — the resume must fold them into the
+// pending suffix and score them, or they silently vanish from the discovery
+// index when the shadow flips in.
+func TestResumePicksUpLakeAdds(t *testing.T) {
+	lake, idx := seedLake(6)
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	boom := errors.New("crash")
+	faults := faultinject.New().On(faultinject.RescoreCheckpoint,
+		faultinject.After(1, faultinject.Err(boom)))
+	d1 := New(lake, &fakeScorer{}, idx, Config{
+		ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt, Faults: faults,
+	})
+	if err := d1.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v", err)
+	}
+
+	// A table lands in the lake (and, as the serving layer would do, in the
+	// live index) after the crash, before the resume.
+	late := mkTable("t99", "price")
+	lake.Put(late)
+	idx.AddPredictions(late, predsFor(late))
+
+	sc2 := &fakeScorer{}
+	d2 := New(lake, sc2, idx, Config{ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt})
+	if err := d2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := d2.Progress()
+	if !p.Resumed || p.Total != 7 || p.Done != 7 {
+		t.Fatalf("resumed progress = %+v, want total 7", p)
+	}
+	if _, ok := sc2.scoredIDs()["t99"]; !ok {
+		t.Fatal("resume never scored the post-snapshot table")
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatalf("post-snapshot table missing from flipped index:\n%s", got)
+	}
+}
+
+// TestResumeRequeuesSupersededTables: a table whose ShadowAdd was superseded
+// by a live dual-write during the interrupted run has no checkpointed refs —
+// the shadow state that covered it died with the crash, so the resume must
+// score it again rather than drop it.
+func TestResumeRequeuesSupersededTables(t *testing.T) {
+	lake, idx := seedLake(6)
+	victim := lake.SnapshotIDs()[0]
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	boom := errors.New("crash")
+	faults := faultinject.New().On(faultinject.RescoreCheckpoint,
+		faultinject.After(2, faultinject.Err(boom)))
+	sc1 := &fakeScorer{}
+	sc1.hook = func(ts []*table.Table) {
+		for _, tb := range ts {
+			if tb.ID == victim {
+				// A live re-add lands after the scan fetched the table: the
+				// dual-write supersedes the driver's pending ShadowAdd.
+				idx.AddPredictions(tb, predsFor(tb))
+			}
+		}
+	}
+	d1 := New(lake, sc1, idx, Config{
+		ModelID: "m-new", BatchSize: 2, Concurrency: 1,
+		CheckpointPath: ckpt, Faults: faults,
+	})
+	if err := d1.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v", err)
+	}
+	cp, err := LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Pos != 4 {
+		t.Fatalf("cursor pos = %d, want 4", cp.Pos)
+	}
+	if _, ok := cp.Refs[victim]; ok {
+		t.Fatalf("superseded table %s has checkpointed refs", victim)
+	}
+
+	sc2 := &fakeScorer{}
+	d2 := New(lake, sc2, idx, Config{ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt})
+	if err := d2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sc2.scoredIDs()[victim]; !ok {
+		t.Fatalf("resume dropped superseded table %s instead of re-scoring it", victim)
+	}
+	if got := idx.Current().CanonicalDump(); !bytes.Equal(got, wantDump(lake)) {
+		t.Fatal("index diverges from oracle after requeued resume")
+	}
+}
+
+// TestLiveRewriteDuringScanWins is the lost-update regression at driver
+// level: a live re-add dual-writes newer refs for a table after the scan
+// fetched it, so the driver's stale ShadowAdd must be skipped and the live
+// view must survive the flip.
+func TestLiveRewriteDuringScanWins(t *testing.T) {
+	lake, idx := seedLake(6)
+	victim := lake.SnapshotIDs()[3]
+	sc := &fakeScorer{}
+	sc.hook = func(ts []*table.Table) {
+		for _, tb := range ts {
+			if tb.ID == victim {
+				boosted := predsFor(tb)
+				for i := range boosted {
+					boosted[i].Confidence = 0.95
+				}
+				idx.AddPredictions(tb, boosted)
+			}
+		}
+	}
+	d := New(lake, sc, idx, Config{ModelID: "m-new", BatchSize: 2, Concurrency: 1})
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Progress(); p.State != "done" || p.Skipped != 1 {
+		t.Fatalf("progress = %+v, want done with 1 skipped (superseded)", p)
+	}
+	for _, ref := range idx.Current().Columns("price") {
+		if ref.TableID == victim && ref.Confidence != 0.95 {
+			t.Fatalf("live update lost: %s indexed at %v, want the live 0.95", victim, ref.Confidence)
+		}
+	}
+}
+
+// TestResumeRefusedOnLostLake: after a real process restart the in-memory
+// lake is empty until the serving layer repopulates it. Resuming a cursor
+// against it must refuse (ErrLakeMismatch) instead of flipping in a
+// near-empty index; the old index keeps serving and the cursor survives.
+func TestResumeRefusedOnLostLake(t *testing.T) {
+	lake, idx := seedLake(6)
+	old := idx.Current()
+	ckpt := filepath.Join(t.TempDir(), "cursor.json")
+	boom := errors.New("crash")
+	faults := faultinject.New().On(faultinject.RescoreCheckpoint,
+		faultinject.After(1, faultinject.Err(boom)))
+	d1 := New(lake, &fakeScorer{}, idx, Config{
+		ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt, Faults: faults,
+	})
+	if err := d1.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v", err)
+	}
+
+	// Simulated restart: fresh empty lake, same cursor.
+	d2 := New(NewLake(), &fakeScorer{}, idx, Config{ModelID: "m-new", BatchSize: 2, CheckpointPath: ckpt})
+	err := d2.Run(context.Background())
+	if !errors.Is(err, ErrLakeMismatch) {
+		t.Fatalf("Run over an empty lake = %v, want ErrLakeMismatch", err)
+	}
+	if p := d2.Progress(); p.State != "failed" {
+		t.Fatalf("state = %q, want failed", p.State)
+	}
+	if idx.Current() != old {
+		t.Fatal("refused resume disturbed the serving index")
+	}
+	if idx.ShadowActive() {
+		t.Fatal("shadow leaked after refused resume")
+	}
+	if _, err := LoadCheckpoint(ckpt); err != nil {
+		t.Fatalf("cursor lost after refused resume: %v", err)
+	}
+}
+
 // TestInMemoryRun: an empty CheckpointPath disables durability but the run
 // still completes and flips.
 func TestInMemoryRun(t *testing.T) {

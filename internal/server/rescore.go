@@ -112,6 +112,17 @@ type RescoreResponse struct {
 // never a choice (always the primary), so there is nothing to parameterize
 // per-request; batch size and cursor path are server configuration.
 func (s *Server) handleRescoreStart(w http.ResponseWriter, r *http.Request) {
+	// lcMu serializes the start against promote/rollback, which hold it
+	// while they cancel any active re-score and swap the primary pointer.
+	// Leasing the primary without it races that sequence: the lease can land
+	// on the outgoing primary after the swap's cancelRescore already ran but
+	// before the pointer moved, and the unregistered run would proceed on a
+	// demoted model and eventually flip in an index typed by it. Under lcMu
+	// the start either completes first (and the promote's cancel then kills
+	// the registered run) or observes the new primary. Lock order is
+	// lcMu → rescore.mu, matching cancelRescore's lifecycle callers.
+	s.lcMu.Lock()
+	defer s.lcMu.Unlock()
 	s.rescore.mu.Lock()
 	defer s.rescore.mu.Unlock()
 	if run := s.rescore.run; run != nil {

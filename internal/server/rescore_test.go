@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -156,6 +157,48 @@ func TestRollbackCancelsRescore(t *testing.T) {
 		t.Fatalf("restart after cancel = %d: %s", rec.Code, rec.Body)
 	}
 	waitRescore(t, s, "done", "cancelled")
+}
+
+// TestRescoreStartSerializesWithPromote: starting a re-score races a
+// promote. The start takes lcMu, so it either completes before the promote
+// (whose cancelRescore then kills the registered run) or waits the promote
+// out and leases the new primary — it can never slip into the window between
+// the promote's cancel and its pointer swap and run on the demoted model.
+// The injected ServerSwap stall holds the promote (and lcMu) open so the
+// start provably arrives mid-promote, and also proves the lcMu → rescore.mu
+// lock order is deadlock-free.
+func TestRescoreStartSerializesWithPromote(t *testing.T) {
+	srvFaults := faultinject.New().On(faultinject.ServerSwap, faultinject.Sleep(150*time.Millisecond))
+	s := chaosServer(t, nil, srvFaults, WithRescoreBatch(2))
+	defer drain(t, s)
+
+	for _, id := range []string{"a", "b", "c", "d"} {
+		if rec := postJSON(t, s, "/v1/index", sampleRequest(id)); rec.Code != http.StatusOK {
+			t.Fatalf("index %s = %d", id, rec.Code)
+		}
+	}
+	path := savedCheckpoint(t, t.TempDir(), "v2.bin", false)
+	modelsPost(t, s, "/v1/models", ModelsRequest{ID: "v2", Path: path}, http.StatusOK)
+
+	promoteCode := make(chan int, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models/promote", nil))
+		promoteCode <- rec.Code
+	}()
+	// Let the promote reach its stalled swap epilogue (holding lcMu), then
+	// race the start against it.
+	time.Sleep(30 * time.Millisecond)
+	if rec := postJSON(t, s, "/v1/index/rescore", nil); rec.Code != http.StatusAccepted {
+		t.Fatalf("start rescore = %d: %s", rec.Code, rec.Body)
+	}
+	if code := <-promoteCode; code != http.StatusOK {
+		t.Fatalf("promote = %d", code)
+	}
+	fin := waitRescore(t, s, "done")
+	if fin.ModelID != "v2" {
+		t.Fatalf("re-score ran on %q, want the promoted primary v2", fin.ModelID)
+	}
 }
 
 // TestPromoteCancelsRescore: promoting a new primary invalidates a re-score
