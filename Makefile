@@ -39,9 +39,9 @@ vet:
 race:
 	$(GO) test -race -p 1 ./internal/core/... ./internal/infer/... ./internal/par/... ./internal/lm/... ./internal/server/... ./internal/faultinject/... ./internal/obs/... ./internal/loadgen/... ./internal/discovery/... ./internal/rescore/...
 
-# Total statement coverage floor, last raised when the lake re-score PR
-# landed; `make cover` fails if the tree ever drops below it.
-COVER_MIN = 87.2
+# Total statement coverage floor, last raised when the watchdog/flight
+# recorder PR landed; `make cover` fails if the tree ever drops below it.
+COVER_MIN = 87.7
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

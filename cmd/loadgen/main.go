@@ -73,16 +73,22 @@ func main() {
 		FetchSLO:        true,
 	}
 
+	var startWatch func()
 	if *target == "" {
 		log.Printf("loadgen: no -target, starting self-contained server (max-inflight=%d, service-time=%s)",
 			*maxInflight, *serviceTime)
-		ts, err := selfContained(*maxInflight, *serviceTime)
+		ts, srv, err := selfContained(*maxInflight, *serviceTime)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer ts.Close()
 		base.Target = ts.URL
 		base.Client = ts.Client()
+		// The suite's soak_watchdog row re-runs the soak with the anomaly
+		// watchdog's tick loop live, so the overhead of rule evaluation is
+		// on record next to the baseline soak. Only possible self-contained:
+		// an external server owns its own watchdog.
+		startWatch = func() { srv.Watchdog().Start(ctx) }
 	}
 
 	if *suite {
@@ -90,7 +96,7 @@ func main() {
 		if path == "" {
 			path = "BENCH_serve.json"
 		}
-		if err := runSuite(ctx, base, *qps, *duration, *warmup, path); err != nil {
+		if err := runSuite(ctx, base, *qps, *duration, *warmup, path, startWatch); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -130,8 +136,10 @@ func buildProfile(name, arrival string, qps, rampTo, burstQPS float64, burstEver
 
 // runSuite is the BENCH_serve.json producer: a steady soak at the base rate,
 // then the same base with periodic spikes past capacity so shedding and the
-// burn-rate response are on record next to the healthy numbers.
-func runSuite(ctx context.Context, base loadgen.Config, qps float64, dur, warmup time.Duration, path string) error {
+// burn-rate response are on record next to the healthy numbers — and, when
+// self-contained, the soak again with the watchdog loop ticking
+// (soak_watchdog) to pin its overhead.
+func runSuite(ctx context.Context, base loadgen.Config, qps float64, dur, warmup time.Duration, path string, startWatch func()) error {
 	type suiteDoc struct {
 		Generated  string                     `json:"generated"`
 		GoVersion  string                     `json:"go_version"`
@@ -148,11 +156,24 @@ func runSuite(ctx context.Context, base loadgen.Config, qps float64, dur, warmup
 		Seed:       base.Seed,
 		Profiles:   map[string]*loadgen.Report{},
 	}
-	profiles := []loadgen.Profile{
-		loadgen.Soak(qps, dur, warmup),
-		loadgen.Burst(qps, 5*qps, 5*time.Second, time.Second, dur, warmup),
+	type stage struct {
+		p      loadgen.Profile
+		before func()
 	}
-	for _, p := range profiles {
+	stages := []stage{
+		{p: loadgen.Soak(qps, dur, warmup)},
+		{p: loadgen.Burst(qps, 5*qps, 5*time.Second, time.Second, dur, warmup)},
+	}
+	if startWatch != nil {
+		wp := loadgen.Soak(qps, dur, warmup)
+		wp.Name = "soak_watchdog"
+		stages = append(stages, stage{p: wp, before: startWatch})
+	}
+	for _, st := range stages {
+		if st.before != nil {
+			st.before()
+		}
+		p := st.p
 		cfg := base
 		cfg.Profile = p
 		log.Printf("loadgen: profile %s (%.0f qps, %s + %s warmup)", p.Name, p.QPS, p.Duration, p.Warmup)
@@ -174,7 +195,8 @@ func runSuite(ctx context.Context, base loadgen.Config, qps float64, dur, warmup
 // selfContained trains a small model and serves it behind a tight admission
 // bound and a deterministic injected service time, so one process can
 // demonstrate the full control loop: offered load → shedding → SLO burn.
-func selfContained(maxInflight int, serviceTime time.Duration) (*httptest.Server, error) {
+// The app server is returned alongside so the suite can start its watchdog.
+func selfContained(maxInflight int, serviceTime time.Duration) (*httptest.Server, *server.Server, error) {
 	c := data.GenerateSportsTables(data.SportsConfig{
 		NumTables: 22, Seed: 11, MinRows: 5, MaxRows: 8, WeakNameProb: 0.1, Domains: 2,
 	})
@@ -184,17 +206,19 @@ func selfContained(maxInflight int, serviceTime time.Duration) (*httptest.Server
 	cfg.Patience = 3
 	m, err := core.Train(c, []int{0, 1, 2, 3, 4, 5}, []int{6, 7}, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opts := []server.Option{
 		server.WithMaxInflight(maxInflight),
 		server.WithSLO(slo.New(slo.DefaultObjectives(server.DefaultSLOTarget, server.DefaultSLOLatency))),
+		server.WithWatchInterval(time.Second),
 	}
 	if serviceTime > 0 {
 		opts = append(opts, server.WithFaults(
 			faultinject.New().On(faultinject.ServerHandle, faultinject.Sleep(serviceTime))))
 	}
-	return httptest.NewServer(server.New(m, 0, opts...)), nil
+	srv := server.New(m, 0, opts...)
+	return httptest.NewServer(srv), srv, nil
 }
 
 func writeJSON(path string, v any) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -52,5 +53,66 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if v["a"] != 1 {
 		t.Fatalf("round-trip = %v", v)
+	}
+}
+
+// TestRunSuiteSelfContained is the suite smoke test: a short run against
+// the in-process server must produce all three profile rows — soak, burst,
+// and the watchdog-enabled soak — in one well-formed document.
+func TestRunSuiteSelfContained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and drives ~1s of load")
+	}
+	ts, srv, err := selfContained(2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	base := loadgen.Config{
+		Target:       ts.URL,
+		Client:       ts.Client(),
+		Seed:         1,
+		CorpusTables: 4,
+		ReadyTimeout: 10 * time.Second,
+		FetchSLO:     true,
+	}
+	path := filepath.Join(t.TempDir(), "serve.json")
+	started := false
+	startWatch := func() { started = true; srv.Watchdog().Start(ctx) }
+	if err := runSuite(ctx, base, 40, 300*time.Millisecond, 0, path, startWatch); err != nil {
+		t.Fatal(err)
+	}
+	if !started {
+		t.Fatal("suite never started the watchdog")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Profiles map[string]*loadgen.Report `json:"profiles"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("suite doc: %v", err)
+	}
+	for _, name := range []string{"soak", "burst", "soak_watchdog"} {
+		rep := doc.Profiles[name]
+		if rep == nil {
+			t.Fatalf("profile %q missing from suite doc", name)
+		}
+		if rep.Completed == 0 || rep.AchievedQPS <= 0 {
+			t.Fatalf("profile %q empty: %+v", name, rep)
+		}
+	}
+	// The watchdog loop is live (1s interval — the short profile may end
+	// before the first tick, so poll rather than assert instantly).
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.Metrics().Snapshot().Counters["watch.ticks"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog loop never ticked")
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

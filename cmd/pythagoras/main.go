@@ -36,6 +36,7 @@ import (
 	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/obs/logz"
 	"github.com/sematype/pythagoras/internal/obs/slo"
+	"github.com/sematype/pythagoras/internal/obs/watch"
 	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/server"
 	"github.com/sematype/pythagoras/internal/table"
@@ -288,6 +289,11 @@ func cmdServe(args []string) {
 	modelsDir := fs.String("models-dir", "", "confine POST /v1/models checkpoint paths to this directory (empty = any readable path)")
 	rescoreCkpt := fs.String("rescore-checkpoint", "", "durable cursor path for lake re-scores (POST /v1/index/rescore); empty keeps the cursor in memory only, so a crashed re-score restarts instead of resuming")
 	rescoreBatch := fs.Int("rescore-batch", 16, "tables per engine batch during a lake re-score")
+	watchInterval := fs.Duration("watch-interval", watch.DefaultInterval, "anomaly-watchdog evaluation period (0 disables the background loop; rules still evaluate on demand in tests)")
+	flightDir := fs.String("flight-dir", "", "directory for watchdog flight records (metrics+traces+profiles captured when an alert fires); empty disables capture")
+	flightMax := fs.Int("flight-max", watch.DefaultFlightMax, "on-disk flight-record ring size; oldest records are evicted beyond this")
+	agreeMin := fs.Float64("shadow-agreement-min", server.DefaultShadowAgreementMin, "shadow agreement rate below which the watchdog auto-rolls-back the candidate")
+	agreeWindow := fs.Duration("shadow-agreement-window", server.DefaultShadowAgreementWindow, "how long shadow agreement must stay below -shadow-agreement-min before auto-rollback")
 	dim, layers := encoderFlags(fs)
 	fs.Parse(args)
 	slog := structuredLogger(*logFormat)
@@ -319,6 +325,11 @@ func cmdServe(args []string) {
 		server.WithTraceRecorder(recorder), server.WithSLO(sloEng),
 		server.WithShadowSample(*shadowSample),
 		server.WithRescoreBatch(*rescoreBatch),
+		server.WithWatchInterval(*watchInterval),
+		server.WithShadowAgreement(*agreeMin, *agreeWindow),
+	}
+	if *flightDir != "" {
+		opts = append(opts, server.WithFlightDir(*flightDir, *flightMax))
 	}
 	if *modelsDir != "" {
 		opts = append(opts, server.WithModelsDir(*modelsDir))
@@ -337,6 +348,9 @@ func cmdServe(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
+	if *watchInterval > 0 {
+		srv.Watchdog().Start(ctx)
+	}
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errCh:

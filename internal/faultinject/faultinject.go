@@ -66,6 +66,14 @@ const (
 	// flip — the last instant at which a crash leaves the old index
 	// serving.
 	RescoreSwap Point = "rescore.swap"
+	// WatchTick fires at the start of every watchdog evaluation tick, before
+	// any rule is read — injected latency models a slow signal read, an
+	// injected error skips the tick entirely (rules keep their state).
+	WatchTick Point = "watch.tick"
+	// WatchCapture fires before a flight record is assembled and written —
+	// an injected error is the deterministic stand-in for a full disk or a
+	// crash mid-capture; the alert itself must still fire and act.
+	WatchCapture Point = "watch.capture"
 	// TrainPrepare fires once per table in the trainer's prepare stage.
 	TrainPrepare Point = "train.prepare"
 	// TrainStep fires once per optimizer step, before the data-parallel

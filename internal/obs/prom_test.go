@@ -43,6 +43,15 @@ func goldenRegistry() *Registry {
 	}
 	r.Counter(Labels("models.swap", "event", "promote")).Inc()
 	r.Counter(Labels("models.swap", "event", "rollback")).Inc()
+	// Watchdog and runtime-signal families added with the anomaly watchdog:
+	// the alert-state gauge pair and the GC pause histogram (fixed
+	// observations — the golden pins exposition shape, not live values).
+	r.GaugeFunc(Labels("watch.alerts", "rule", "slo-fast-burn", "state", "firing"), func() float64 { return 1 })
+	r.GaugeFunc(Labels("watch.alerts", "rule", "slo-fast-burn", "state", "pending"), func() float64 { return 0 })
+	gc := r.Histogram("runtime.gc.pause.seconds", GCPauseBuckets)
+	for _, v := range []float64{0.00002, 0.00015, 0.0011} {
+		gc.Observe(v)
+	}
 	return r
 }
 

@@ -15,12 +15,19 @@ import (
 // the gauge exists for.
 var processStart = time.Now()
 
-// memStatsReader caches runtime.ReadMemStats for a refresh interval.
+// memStatsReader caches runtime.ReadMemStats for a refresh interval. When a
+// pause histogram is attached, each refresh also drains the GC cycles that
+// completed since the previous refresh into it: PauseNs is the runtime's own
+// circular buffer of the last 256 pause durations, indexed by (NumGC+255)%256,
+// so the delta in NumGC names exactly the new entries.
 type memStatsReader struct {
-	mu      sync.Mutex
-	stats   runtime.MemStats
-	last    time.Time
-	refresh time.Duration
+	mu        sync.Mutex
+	stats     runtime.MemStats
+	last      time.Time
+	refresh   time.Duration
+	pauses    *Histogram // runtime.gc.pause.seconds; nil skips the drain
+	lastNumGC uint32
+	primed    bool
 }
 
 func (m *memStatsReader) read() runtime.MemStats {
@@ -29,9 +36,39 @@ func (m *memStatsReader) read() runtime.MemStats {
 	if time.Since(m.last) >= m.refresh {
 		runtime.ReadMemStats(&m.stats)
 		m.last = time.Now()
+		m.drainPauses()
 	}
 	return m.stats
 }
+
+// drainPauses observes each GC pause completed since the previous refresh.
+// The first refresh only primes the cursor — pauses from before the registry
+// existed belong to no one's watch window. Caller holds m.mu.
+func (m *memStatsReader) drainPauses() {
+	if m.pauses == nil {
+		return
+	}
+	n := m.stats.NumGC
+	if !m.primed {
+		m.primed = true
+		m.lastNumGC = n
+		return
+	}
+	newCycles := n - m.lastNumGC
+	if newCycles > uint32(len(m.stats.PauseNs)) {
+		newCycles = uint32(len(m.stats.PauseNs)) // older pauses were overwritten
+	}
+	for i := uint32(0); i < newCycles; i++ {
+		idx := (n - i + 255) % uint32(len(m.stats.PauseNs))
+		m.pauses.Observe(float64(m.stats.PauseNs[idx]) / 1e9)
+	}
+	m.lastNumGC = n
+}
+
+// GCPauseBuckets are the runtime.gc.pause.seconds histogram bounds: GC
+// pauses live in the 10µs–10ms range on healthy processes, so the buckets
+// resolve that band and let anything slower pile into the overflow.
+var GCPauseBuckets = ExpBuckets(1e-5, 2, 12) // 10µs … ~20ms
 
 // RegisterRuntimeMetrics exports Go runtime health into the registry:
 //
@@ -40,6 +77,10 @@ func (m *memStatsReader) read() runtime.MemStats {
 //	runtime.heap.objects            live heap objects
 //	runtime.gc.count                completed GC cycles
 //	runtime.gc.pause.total.seconds  cumulative stop-the-world pause time
+//	runtime.gc.pause.seconds        histogram of individual GC pauses,
+//	                                drained from MemStats.PauseNs at each
+//	                                throttled refresh — a watchdog input
+//	                                signal alongside runtime.goroutines
 //	runtime.sys.bytes               total bytes obtained from the OS
 //	runtime.gomaxprocs              GOMAXPROCS at scrape time
 //	runtime.num_cpu                 logical CPUs visible to the process
@@ -58,6 +99,7 @@ func RegisterRuntimeMetrics(r *Registry) {
 		return
 	}
 	ms := &memStatsReader{refresh: time.Second}
+	ms.pauses = r.Histogram("runtime.gc.pause.seconds", GCPauseBuckets)
 	r.GaugeFunc("runtime.goroutines", func() float64 {
 		return float64(runtime.NumGoroutine())
 	})

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"testing"
 	"time"
 )
@@ -37,7 +38,35 @@ func TestRegisterRuntimeMetrics(t *testing.T) {
 	if up := snap.Gauges["process.uptime_seconds"]; up <= 0 {
 		t.Fatalf("uptime = %v, want > 0", up)
 	}
+	if _, ok := snap.Histograms["runtime.gc.pause.seconds"]; !ok {
+		t.Fatal("histogram runtime.gc.pause.seconds not registered")
+	}
 	RegisterRuntimeMetrics(nil) // nil-safe
+}
+
+// TestGCPauseHistogramDrains forces GC cycles between refreshes and checks
+// each one lands exactly once in the pause histogram: the first refresh only
+// primes the cursor, later refreshes observe the NumGC delta.
+func TestGCPauseHistogramDrains(t *testing.T) {
+	h := NewHistogram(GCPauseBuckets)
+	ms := &memStatsReader{pauses: h} // refresh 0: every read refreshes
+	ms.read()                        // prime — pre-existing pauses are not ours
+	if h.Count() != 0 {
+		t.Fatalf("priming read observed %d pauses, want 0", h.Count())
+	}
+	const cycles = 3
+	for i := 0; i < cycles; i++ {
+		runtime.GC()
+	}
+	ms.read()
+	got := h.Count()
+	if got < cycles {
+		t.Fatalf("pause histogram count = %d, want ≥ %d", got, cycles)
+	}
+	ms.read() // no forced cycles: nothing new should drain
+	if after := h.Count(); after < got {
+		t.Fatalf("pause histogram count shrank: %d then %d", got, after)
+	}
 }
 
 // TestUptimeAdvances: two snapshots straddle a sleep; the uptime gauge must

@@ -338,6 +338,46 @@ func (e *Engine) Status() Status {
 	return st
 }
 
+// BurnAlert is the burn-rate pair state of one objective — the compact
+// readout the anomaly watchdog polls every tick (Status computes the same
+// booleans but also materializes the full per-window report; a watchdog
+// ticking every few seconds only needs the pair states and their rates).
+type BurnAlert struct {
+	Objective string  `json:"objective"`
+	Fast      bool    `json:"fast"` // 5m AND 1h over FastBurnThreshold
+	Slow      bool    `json:"slow"` // 30m AND 6h over SlowBurnThreshold
+	Rate5m    float64 `json:"rate_5m"`
+	Rate30m   float64 `json:"rate_30m"`
+	Rate1h    float64 `json:"rate_1h"`
+	Rate6h    float64 `json:"rate_6h"`
+}
+
+// Alerts reports every objective's burn-rate pair state at the engine's
+// current clock. Nil-safe (no objectives, no alerts).
+func (e *Engine) Alerts() []BurnAlert {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	nowIdx := e.now().UnixNano() / int64(e.width)
+	alerts := make([]BurnAlert, 0, len(e.objs))
+	for _, o := range e.objs {
+		a := BurnAlert{Objective: o.Name}
+		rates := map[string]*float64{
+			"5m": &a.Rate5m, "30m": &a.Rate30m, "1h": &a.Rate1h, "6h": &a.Rate6h,
+		}
+		for _, bw := range burnWindows {
+			g, b := o.window(nowIdx, e.width, bw.d)
+			*rates[bw.label] = burnRate(g, b, o.Target)
+		}
+		a.Fast = a.Rate5m > FastBurnThreshold && a.Rate1h > FastBurnThreshold
+		a.Slow = a.Rate30m > SlowBurnThreshold && a.Rate6h > SlowBurnThreshold
+		alerts = append(alerts, a)
+	}
+	return alerts
+}
+
 // Register exports the engine into a registry:
 //
 //	slo.<name>.target              gauge, the declared target

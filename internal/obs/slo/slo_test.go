@@ -422,3 +422,72 @@ func TestWritePrometheusGoldenSLO(t *testing.T) {
 		t.Fatal("two renders of a quiescent SLO registry differ")
 	}
 }
+
+// TestAlertsReadout pins the watchdog-facing burn readout: per-objective
+// fast/slow flags follow the multi-window pairs exactly, and windows age the
+// flags off independently (fast clears when the 5m window empties while slow
+// still holds on 30m AND 6h).
+func TestAlertsReadout(t *testing.T) {
+	clk := newFakeClock()
+	e := New(DefaultObjectives(0.99, 100*time.Millisecond),
+		WithNow(clk.Now), WithBucketWidth(time.Minute))
+
+	alerts := e.Alerts()
+	if len(alerts) != 2 {
+		t.Fatalf("alerts for 2 objectives = %+v", alerts)
+	}
+	for _, a := range alerts {
+		if a.Fast || a.Slow || a.Rate5m != 0 || a.Rate6h != 0 {
+			t.Fatalf("idle engine alert = %+v, want all clear", a)
+		}
+	}
+
+	// All-bad traffic against a 99% target: burn 100 on every window —
+	// both pairs trip.
+	for i := 0; i < 10; i++ {
+		e.Record(time.Millisecond, false)
+	}
+	byName := func(name string) BurnAlert {
+		t.Helper()
+		for _, a := range e.Alerts() {
+			if a.Objective == name {
+				return a
+			}
+		}
+		t.Fatalf("objective %q missing", name)
+		return BurnAlert{}
+	}
+	a := byName("availability")
+	if !a.Fast || !a.Slow {
+		t.Fatalf("saturated engine alert = %+v, want fast and slow", a)
+	}
+	if !almost(a.Rate5m, 100) || !almost(a.Rate1h, 100) || !almost(a.Rate30m, 100) || !almost(a.Rate6h, 100) {
+		t.Fatalf("rates = %+v, want 100 everywhere", a)
+	}
+
+	// +10m: the bad burst has aged out of the 5m window but still dominates
+	// 30m/1h/6h — fast clears, slow holds.
+	clk.Advance(10 * time.Minute)
+	a = byName("availability")
+	if a.Fast {
+		t.Fatalf("fast still set after 5m window emptied: %+v", a)
+	}
+	if !a.Slow {
+		t.Fatalf("slow cleared early: %+v", a)
+	}
+	if a.Rate5m != 0 {
+		t.Fatalf("rate5m = %v, want 0", a.Rate5m)
+	}
+
+	// +7h: everything has aged out.
+	clk.Advance(7 * time.Hour)
+	a = byName("availability")
+	if a.Fast || a.Slow || a.Rate6h != 0 {
+		t.Fatalf("alert did not age out: %+v", a)
+	}
+
+	var nilEngine *Engine
+	if got := nilEngine.Alerts(); got != nil {
+		t.Fatalf("nil engine alerts = %+v", got)
+	}
+}

@@ -1,0 +1,223 @@
+package watch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func saveRecord(t *testing.T, fd *FlightDir, rule string) string {
+	t.Helper()
+	id, err := fd.Save(&FlightRecord{Rule: rule, Time: time.Unix(1_700_000_000, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestFlightDirSaveLoadRoundTrip(t *testing.T) {
+	fd, err := OpenFlightDir(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &FlightRecord{
+		Rule:      "slo-fast-burn",
+		Time:      time.Unix(1_700_000_123, 0).UTC(),
+		Value:     15.5,
+		Threshold: 14.4,
+		CPU:       CPUDelta{WindowSeconds: 5, ProcessSeconds: 1.2, GCSeconds: 0.1},
+	}
+	rec.fillProfiles()
+	id, err := fd.Save(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "flight-00000000-") {
+		t.Fatalf("first record id = %q", id)
+	}
+	got, err := fd.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rule != rec.Rule || !got.Time.Equal(rec.Time) || got.Value != rec.Value {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	if got.CPU != rec.CPU {
+		t.Fatalf("round trip lost CPU delta: %+v vs %+v", got.CPU, rec.CPU)
+	}
+	if got.Goroutines < 1 || got.GoroutineProfile == "" {
+		t.Fatalf("round trip lost profiles: %+v", got.Goroutines)
+	}
+}
+
+func TestFlightDirEvictsOldest(t *testing.T) {
+	fd, err := OpenFlightDir(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, saveRecord(t, fd, "r"))
+	}
+	list := fd.List()
+	if len(list) != 3 {
+		t.Fatalf("ring holds %d records, want 3", len(list))
+	}
+	// Newest first, and exactly the last three survive.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if list[i].ID != want {
+			t.Fatalf("list[%d] = %q, want %q", i, list[i].ID, want)
+		}
+	}
+	for _, evicted := range ids[:2] {
+		if _, err := fd.Load(evicted); err == nil {
+			t.Fatalf("evicted record %q still loadable", evicted)
+		}
+	}
+}
+
+func TestFlightDirSurvivesCrashMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	fd, err := OpenFlightDir(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := saveRecord(t, fd, "kept")
+	// A crash mid-capture leaves a truncated temp file behind.
+	torn := filepath.Join(dir, ".flight-12345.tmp")
+	if err := os.WriteFile(torn, []byte(`{"rule":"torn","val`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenFlightDir(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := reopened.List()
+	if len(list) != 1 || list[0].ID != kept {
+		t.Fatalf("reopened list = %+v, want only %q", list, kept)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn temp file not cleaned up: %v", err)
+	}
+	// Numbering continues after the survivor — no ID reuse.
+	next := saveRecord(t, reopened, "next")
+	if !strings.HasPrefix(next, "flight-00000001-") {
+		t.Fatalf("post-reopen id = %q, want sequence to continue", next)
+	}
+}
+
+func TestFlightDirLoadRejectsPathEscapes(t *testing.T) {
+	dir := t.TempDir()
+	fd, err := OpenFlightDir(filepath.Join(dir, "ring"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "secret.json"), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{
+		"../secret", "flight-../secret", "/etc/passwd", "flight-00000000-a/../../secret",
+		"nonsense", "flight-notanumber-x",
+	} {
+		if _, err := fd.Load(id); err == nil {
+			t.Fatalf("Load(%q) succeeded, want rejection", id)
+		}
+	}
+}
+
+func TestFlightDirNilSafe(t *testing.T) {
+	var fd *FlightDir
+	if got := fd.List(); got != nil {
+		t.Fatalf("nil List = %v", got)
+	}
+	if _, err := fd.Load("flight-00000000-x"); err == nil {
+		t.Fatal("nil Load succeeded")
+	}
+}
+
+func TestParseFlightSeq(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  uint64
+		ok   bool
+	}{
+		{"flight-00000007-slo-fast-burn.json", 7, true},
+		{"flight-00000123.json", 123, true},
+		{"flight-x.json", 0, false},
+		{".flight-123.tmp", 0, false},
+		{"checkpoint.json", 0, false},
+		{"flight-.json", 0, false},
+	}
+	for _, c := range cases {
+		seq, ok := parseFlightSeq(c.name)
+		if ok != c.ok || (ok && seq != c.seq) {
+			t.Fatalf("parseFlightSeq(%q) = %d, %v; want %d, %v", c.name, seq, ok, c.seq, c.ok)
+		}
+	}
+}
+
+func TestSanitizeRule(t *testing.T) {
+	if got := sanitizeRule("slo fast/burn!"); got != "slo_fast_burn_" {
+		t.Fatalf("sanitizeRule = %q", got)
+	}
+	if got := sanitizeRule(""); got != "rule" {
+		t.Fatalf("sanitizeRule empty = %q", got)
+	}
+}
+
+func TestAdvanceCPUDelta(t *testing.T) {
+	clk := newFakeClock()
+	w := New(Config{Now: clk.Now})
+	defer w.Stop()
+	clk.Advance(5 * time.Second)
+	// Burn a little CPU so the cumulative clocks move.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	d := w.advanceCPU(clk.Now())
+	if d.WindowSeconds != 5 {
+		t.Fatalf("window = %v, want 5s", d.WindowSeconds)
+	}
+	if d.ProcessSeconds < 0 || d.GCSeconds < 0 {
+		t.Fatalf("negative CPU delta: %+v", d)
+	}
+}
+
+// TestOpenFlightDirErrors: a path occupied by a regular file cannot become
+// a flight dir; the error is surfaced, not swallowed.
+func TestOpenFlightDirErrors(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFlightDir(file, 4); err == nil {
+		t.Fatal("OpenFlightDir on a regular file succeeded")
+	}
+}
+
+// TestFlightDirLoadMissingRecord: a well-formed ID that simply is not on
+// disk is an error, not a panic or an empty record.
+func TestFlightDirLoadMissingRecord(t *testing.T) {
+	f, err := OpenFlightDir(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Load("flight-00000007-ghost"); err == nil {
+		t.Fatal("Load of a missing record succeeded")
+	}
+}
+
+// TestProfileText: known profiles render non-empty, unknown names render
+// empty instead of failing the capture.
+func TestProfileText(t *testing.T) {
+	if got := profileText("goroutine"); got == "" {
+		t.Fatal("goroutine profile empty")
+	}
+	if got := profileText("no-such-profile"); got != "" {
+		t.Fatalf("unknown profile = %q, want empty", got)
+	}
+}

@@ -1,0 +1,418 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sematype/pythagoras/internal/faultinject"
+	"github.com/sematype/pythagoras/internal/obs"
+)
+
+// fakeClock drives the watchdog deterministically: tests advance it by whole
+// intervals and call Tick explicitly.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// sig is a settable signal for rule tests.
+type sig struct {
+	mu sync.Mutex
+	v  float64
+	ok bool
+}
+
+func (s *sig) set(v float64, ok bool) {
+	s.mu.Lock()
+	s.v, s.ok = v, ok
+	s.mu.Unlock()
+}
+
+func (s *sig) read() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v, s.ok
+}
+
+func testWatchdog(t *testing.T, clk *fakeClock, cfg Config) *Watchdog {
+	t.Helper()
+	cfg.Now = clk.Now
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	w := New(cfg)
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func TestRuleFiresAfterForDuration(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	w := testWatchdog(t, clk, Config{Metrics: reg})
+	s := &sig{}
+	s.set(0, true)
+	var fired, cleared []Alert
+	w.Add(Rule{
+		Name:      "hot",
+		Signal:    s.read,
+		Threshold: 10,
+		For:       3 * time.Second,
+		CoolDown:  2 * time.Second,
+		OnFire:    func(a Alert) { fired = append(fired, a) },
+		OnClear:   func(a Alert) { cleared = append(cleared, a) },
+	})
+
+	// Healthy ticks: nothing pending, nothing firing.
+	w.Tick()
+	if got := w.Alerts(); len(got.Recent) != 0 {
+		t.Fatalf("healthy tick produced alerts: %+v", got.Recent)
+	}
+
+	// Breach for 2s < For: still pending, gauge shows pending not firing.
+	s.set(42, true)
+	w.Tick() // breachSince = now
+	clk.Advance(2 * time.Second)
+	w.Tick()
+	snap := reg.Snapshot()
+	if g := snap.Gauges[obs.Labels("watch.alerts", "rule", "hot", "state", "pending")]; g != 1 {
+		t.Fatalf("pending gauge = %v, want 1", g)
+	}
+	if g := snap.Gauges[obs.Labels("watch.alerts", "rule", "hot", "state", "firing")]; g != 0 {
+		t.Fatalf("firing gauge = %v, want 0", g)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("fired before For elapsed: %+v", fired)
+	}
+
+	// One more second completes the For window.
+	clk.Advance(time.Second)
+	w.Tick()
+	if len(fired) != 1 {
+		t.Fatalf("fired %d times, want 1", len(fired))
+	}
+	if fired[0].Rule != "hot" || fired[0].Value != 42 || fired[0].Threshold != 10 {
+		t.Fatalf("fired alert = %+v", fired[0])
+	}
+	rep := w.Alerts()
+	if len(rep.Active) != 1 || rep.Active[0].State != "firing" {
+		t.Fatalf("active report = %+v", rep)
+	}
+	if c := reg.Snapshot().Counters[obs.Labels("watch.alerts.fired", "rule", "hot")]; c != 1 {
+		t.Fatalf("fired counter = %d, want 1", c)
+	}
+
+	// A dip below threshold for less than CoolDown must not clear.
+	s.set(1, true)
+	clk.Advance(time.Second)
+	w.Tick() // clearSince = now
+	clk.Advance(time.Second)
+	s.set(42, true)
+	w.Tick() // hot again: cool-down resets
+	if len(cleared) != 0 {
+		t.Fatalf("cleared during flap: %+v", cleared)
+	}
+
+	// Now continuously clear for the full cool-down.
+	s.set(1, true)
+	clk.Advance(time.Second)
+	w.Tick() // clearSince restarts here
+	clk.Advance(2 * time.Second)
+	w.Tick()
+	if len(cleared) != 1 {
+		t.Fatalf("cleared %d times, want 1", len(cleared))
+	}
+	if cleared[0].State != "cleared" || cleared[0].ClearedAt.IsZero() {
+		t.Fatalf("cleared alert = %+v", cleared[0])
+	}
+	rep = w.Alerts()
+	if len(rep.Active) != 0 || len(rep.Recent) != 1 || rep.Recent[0].State != "cleared" {
+		t.Fatalf("post-clear report = %+v", rep)
+	}
+}
+
+func TestZeroForFiresImmediatelyAndBelowInverts(t *testing.T) {
+	clk := newFakeClock()
+	w := testWatchdog(t, clk, Config{})
+	s := &sig{}
+	s.set(0.95, true)
+	var fired int
+	w.Add(Rule{
+		Name:      "agreement-low",
+		Signal:    s.read,
+		Threshold: 0.85,
+		Below:     true,
+		OnFire:    func(Alert) { fired++ },
+	})
+	w.Tick()
+	if fired != 0 {
+		t.Fatal("fired while above a Below threshold")
+	}
+	s.set(0.5, true)
+	w.Tick()
+	if fired != 1 {
+		t.Fatalf("zero-For rule fired %d times on first breaching tick, want 1", fired)
+	}
+	// Zero cool-down: first clear tick clears.
+	s.set(0.95, true)
+	clk.Advance(time.Second)
+	w.Tick()
+	if rep := w.Alerts(); len(rep.Active) != 0 {
+		t.Fatalf("zero-CoolDown alert still active: %+v", rep.Active)
+	}
+}
+
+func TestUnavailableSignalResetsHysteresis(t *testing.T) {
+	clk := newFakeClock()
+	w := testWatchdog(t, clk, Config{})
+	s := &sig{}
+	var fired int
+	w.Add(Rule{
+		Name:      "drift",
+		Signal:    s.read,
+		Threshold: 0.5,
+		For:       2 * time.Second,
+		OnFire:    func(Alert) { fired++ },
+	})
+	// Breach, then the signal disappears mid-window: pending resets.
+	s.set(0.9, true)
+	w.Tick()
+	clk.Advance(time.Second)
+	s.set(0, false)
+	w.Tick()
+	clk.Advance(time.Second)
+	s.set(0.9, true)
+	w.Tick() // breachSince restarts — only 0s elapsed
+	if fired != 0 {
+		t.Fatal("fired although the breach window was interrupted by ok=false")
+	}
+	clk.Advance(2 * time.Second)
+	w.Tick()
+	if fired != 1 {
+		t.Fatalf("fired %d times after uninterrupted window, want 1", fired)
+	}
+	// ok=false while firing starts the cool-down and clears (CoolDown 0).
+	s.set(0, false)
+	clk.Advance(time.Second)
+	w.Tick()
+	if rep := w.Alerts(); len(rep.Active) != 0 {
+		t.Fatalf("alert survived signal disappearance: %+v", rep.Active)
+	}
+}
+
+func TestAlertRingBounded(t *testing.T) {
+	clk := newFakeClock()
+	w := testWatchdog(t, clk, Config{})
+	s := &sig{}
+	w.Add(Rule{Name: "flappy", Signal: s.read, Threshold: 1})
+	for i := 0; i < maxAlerts+20; i++ {
+		s.set(5, true)
+		w.Tick() // fire
+		clk.Advance(time.Second)
+		s.set(0, true)
+		w.Tick() // clear
+		clk.Advance(time.Second)
+	}
+	rep := w.Alerts()
+	if len(rep.Recent) != maxAlerts {
+		t.Fatalf("ring holds %d alerts, want %d", len(rep.Recent), maxAlerts)
+	}
+}
+
+func TestTickFaultSkipsEvaluation(t *testing.T) {
+	clk := newFakeClock()
+	faults := faultinject.New()
+	reg := obs.NewRegistry()
+	w := testWatchdog(t, clk, Config{Faults: faults, Metrics: reg})
+	s := &sig{}
+	s.set(9, true)
+	var fired int
+	w.Add(Rule{Name: "r", Signal: s.read, Threshold: 1, OnFire: func(Alert) { fired++ }})
+
+	faults.On(faultinject.WatchTick, faultinject.Times(1, faultinject.Err(errors.New("slow signal read"))))
+	w.Tick()
+	if fired != 0 {
+		t.Fatal("rule fired on a faulted tick")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["watch.tick.errors"] != 1 || snap.Counters["watch.ticks"] != 0 {
+		t.Fatalf("tick counters = %+v", snap.Counters)
+	}
+	w.Tick()
+	if fired != 1 {
+		t.Fatalf("rule fired %d times after fault cleared, want 1", fired)
+	}
+}
+
+func TestCaptureWritesFlightRecordAndLinksAlert(t *testing.T) {
+	clk := newFakeClock()
+	fd, err := OpenFlightDir(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("seen.requests").Add(11)
+	var annotations []string
+	w := testWatchdog(t, clk, Config{
+		Metrics:  reg,
+		Flights:  fd,
+		Annotate: func(event, detail string) { annotations = append(annotations, event+":"+detail) },
+		Sources: Sources{
+			Metrics: func() any { return reg.Snapshot() },
+			Traces: func() []obs.Trace {
+				return []obs.Trace{{TraceID: "cafe", Root: "predict"}}
+			},
+		},
+	})
+	s := &sig{}
+	s.set(7, true)
+	w.Add(Rule{Name: "slo-fast-burn", Signal: s.read, Threshold: 2, Capture: true})
+	w.Tick()
+
+	rep := w.Alerts()
+	if len(rep.Active) != 1 || rep.Active[0].FlightID == "" {
+		t.Fatalf("active alert has no flight id: %+v", rep.Active)
+	}
+	rec, err := fd.Load(rep.Active[0].FlightID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rule != "slo-fast-burn" || rec.Value != 7 || rec.Threshold != 2 {
+		t.Fatalf("record header = %+v", rec)
+	}
+	if len(rec.Traces) != 1 || rec.Traces[0].TraceID != "cafe" {
+		t.Fatalf("record traces = %+v", rec.Traces)
+	}
+	if rec.Goroutines < 1 || rec.GoroutineProfile == "" || rec.HeapProfile == "" {
+		t.Fatalf("record profiles missing: goroutines=%d", rec.Goroutines)
+	}
+	if rec.Metrics == nil {
+		t.Fatal("record metrics snapshot missing")
+	}
+	if len(annotations) != 1 || annotations[0] != "alert-firing:slo-fast-burn" {
+		t.Fatalf("annotations = %v", annotations)
+	}
+	if c := reg.Snapshot().Counters["watch.flights.captured"]; c != 1 {
+		t.Fatalf("captured counter = %d, want 1", c)
+	}
+}
+
+func TestCaptureFaultStillFiresAlert(t *testing.T) {
+	clk := newFakeClock()
+	fd, err := OpenFlightDir(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultinject.New()
+	faults.On(faultinject.WatchCapture, faultinject.Err(errors.New("disk full")))
+	reg := obs.NewRegistry()
+	var fired int
+	w := testWatchdog(t, clk, Config{Metrics: reg, Flights: fd, Faults: faults})
+	s := &sig{}
+	s.set(7, true)
+	w.Add(Rule{Name: "r", Signal: s.read, Threshold: 2, Capture: true,
+		OnFire: func(Alert) { fired++ }})
+	w.Tick()
+	if fired != 1 {
+		t.Fatalf("fired %d times despite capture fault, want 1", fired)
+	}
+	rep := w.Alerts()
+	if len(rep.Active) != 1 || rep.Active[0].FlightID != "" {
+		t.Fatalf("active = %+v, want firing with empty flight id", rep.Active)
+	}
+	if got := len(fd.List()); got != 0 {
+		t.Fatalf("flight dir has %d records after faulted capture, want 0", got)
+	}
+	if c := reg.Snapshot().Counters["watch.flights.errors"]; c != 1 {
+		t.Fatalf("capture errors counter = %d, want 1", c)
+	}
+}
+
+func TestStartLoopTicksAndStops(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := New(Config{Interval: time.Millisecond, Metrics: reg})
+	w.Start(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().Counters["watch.ticks"] < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("background loop never reached 3 ticks")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Stop()
+	w.Stop() // idempotent
+	n := reg.Snapshot().Counters["watch.ticks"]
+	time.Sleep(10 * time.Millisecond)
+	if after := reg.Snapshot().Counters["watch.ticks"]; after != n {
+		t.Fatalf("loop still ticking after Stop: %d then %d", n, after)
+	}
+}
+
+func TestNilWatchdogAlerts(t *testing.T) {
+	var w *Watchdog
+	rep := w.Alerts()
+	if rep.Active == nil || rep.Recent == nil || len(rep.Active)+len(rep.Recent) != 0 {
+		t.Fatalf("nil watchdog report = %+v", rep)
+	}
+}
+
+// TestConcurrentTickAndAdd races rule registration, ticks, and report reads —
+// the shape `go test -race` must hold clean.
+func TestConcurrentTickAndAdd(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	w := testWatchdog(t, clk, Config{Metrics: reg})
+	s := &sig{}
+	s.set(9, true)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				switch i % 3 {
+				case 0:
+					w.Add(Rule{Name: fmt.Sprintf("r-%d-%d", i, j), Signal: s.read, Threshold: 1})
+				case 1:
+					clk.Advance(time.Millisecond)
+					w.Tick()
+				default:
+					_ = w.Alerts()
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestIntervalDefaultsAndOverride: the configured tick period is reported,
+// and a zero config selects DefaultInterval.
+func TestIntervalDefaultsAndOverride(t *testing.T) {
+	if got := New(Config{}).Interval(); got != DefaultInterval {
+		t.Fatalf("default interval = %s, want %s", got, DefaultInterval)
+	}
+	if got := New(Config{Interval: time.Second}).Interval(); got != time.Second {
+		t.Fatalf("interval = %s, want 1s", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Budget is the re-score driver's dynamic concurrency gate. PR 9's fixed
+// semaphore became a watchdog actuator: when the serving SLO's fast burn
+// fires, the watchdog halves the in-flight batch budget so background
+// re-scoring stops competing with live traffic for the worker pool, and
+// restores it when the alert clears. In-flight batches are never interrupted
+// — a lowered limit only delays the next acquisition.
+package rescore
+
+import (
+	"context"
+	"sync"
+)
+
+// Budget is a counting semaphore whose limit can be changed while waiters
+// are queued. Waiters are served FIFO; raising the limit wakes queued
+// waiters immediately, lowering it simply stops new acquisitions until
+// enough releases bring usage under the new limit.
+type Budget struct {
+	mu      sync.Mutex
+	limit   int
+	base    int
+	inUse   int
+	waiters []chan struct{} // each is closed exactly once, by wakeLocked
+}
+
+// NewBudget builds a budget with the given base limit (clamped to ≥ 1).
+func NewBudget(limit int) *Budget {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Budget{limit: limit, base: limit}
+}
+
+// Acquire blocks until a slot is free or ctx is cancelled.
+func (b *Budget) Acquire(ctx context.Context) error {
+	b.mu.Lock()
+	if len(b.waiters) == 0 && b.inUse < b.limit {
+		b.inUse++
+		b.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	b.waiters = append(b.waiters, ch)
+	b.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		for i, w := range b.waiters {
+			if w == ch {
+				b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+				b.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// Not queued anymore: wakeLocked granted us a slot concurrently with
+		// the cancellation. Hand the slot on before reporting the cancel.
+		b.releaseLocked()
+		b.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot and wakes the next waiter if the limit allows.
+func (b *Budget) Release() {
+	b.mu.Lock()
+	b.releaseLocked()
+	b.mu.Unlock()
+}
+
+func (b *Budget) releaseLocked() {
+	if b.inUse > 0 {
+		b.inUse--
+	}
+	b.wakeLocked()
+}
+
+// wakeLocked grants slots to queued waiters while capacity exists. Caller
+// holds b.mu.
+func (b *Budget) wakeLocked() {
+	for len(b.waiters) > 0 && b.inUse < b.limit {
+		close(b.waiters[0])
+		b.waiters = b.waiters[1:]
+		b.inUse++
+	}
+}
+
+// SetLimit changes the current limit (clamped to ≥ 1). Raising it wakes
+// queued waiters; lowering it never interrupts in-flight work.
+func (b *Budget) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	b.limit = n
+	b.wakeLocked()
+	b.mu.Unlock()
+}
+
+// Limit returns the current limit.
+func (b *Budget) Limit() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.limit
+}
+
+// Base returns the limit the budget was created with — what SetLimit
+// restores to when a throttle clears.
+func (b *Budget) Base() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.base
+}
+
+// InUse returns the number of currently held slots.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}

@@ -1,0 +1,204 @@
+package rescore
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBudgetBasicAcquireRelease(t *testing.T) {
+	b := NewBudget(2)
+	ctx := context.Background()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.InUse(); got != 2 {
+		t.Fatalf("in use = %d, want 2", got)
+	}
+	// Third acquire must block until a release.
+	acquired := make(chan struct{})
+	go func() {
+		if err := b.Acquire(ctx); err == nil {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third acquire succeeded over the limit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+}
+
+func TestBudgetClampsAndBase(t *testing.T) {
+	b := NewBudget(0)
+	if b.Limit() != 1 || b.Base() != 1 {
+		t.Fatalf("limit/base = %d/%d, want 1/1", b.Limit(), b.Base())
+	}
+	b = NewBudget(4)
+	b.SetLimit(0)
+	if b.Limit() != 1 {
+		t.Fatalf("SetLimit(0) gave %d, want clamp to 1", b.Limit())
+	}
+	if b.Base() != 4 {
+		t.Fatalf("base drifted to %d after SetLimit", b.Base())
+	}
+	b.SetLimit(b.Base())
+	if b.Limit() != 4 {
+		t.Fatalf("restore gave %d, want 4", b.Limit())
+	}
+}
+
+// TestBudgetLowerNeverInterruptsInFlight: with 4 slots held, dropping the
+// limit to 2 must not revoke anything; new acquisitions wait until usage
+// falls under the new limit.
+func TestBudgetLowerNeverInterruptsInFlight(t *testing.T) {
+	b := NewBudget(4)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := b.Acquire(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.SetLimit(2)
+	if got := b.InUse(); got != 4 {
+		t.Fatalf("in use after lowering = %d, want 4 (no revocation)", got)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := b.Acquire(ctx); err == nil {
+			close(acquired)
+		}
+	}()
+	// Two releases bring usage to 2 == limit: the waiter must stay queued.
+	b.Release()
+	b.Release()
+	select {
+	case <-acquired:
+		t.Fatal("acquired while usage was still at the lowered limit")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// A third release opens a slot under the lowered limit.
+	b.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never admitted under the lowered limit")
+	}
+}
+
+func TestBudgetRaiseWakesQueuedWaiters(t *testing.T) {
+	b := NewBudget(1)
+	ctx := context.Background()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Acquire(ctx); err == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	if admitted.Load() != 0 {
+		t.Fatalf("%d admitted before raise", admitted.Load())
+	}
+	b.SetLimit(4)
+	wg.Wait()
+	if admitted.Load() != 3 {
+		t.Fatalf("%d admitted after raise, want 3", admitted.Load())
+	}
+	if b.InUse() != 4 {
+		t.Fatalf("in use = %d, want 4", b.InUse())
+	}
+}
+
+func TestBudgetAcquireCancellation(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- b.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	// The cancelled waiter must not have leaked a slot: one release frees
+	// the only slot and a fresh acquire succeeds immediately.
+	b.Release()
+	done := make(chan struct{})
+	go func() {
+		if err := b.Acquire(context.Background()); err == nil {
+			close(done)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("slot leaked by cancelled waiter")
+	}
+}
+
+// TestBudgetStress hammers acquire/release/SetLimit concurrently and then
+// checks conservation: all slots return, and the in-flight count never
+// exceeded the highest limit ever set.
+func TestBudgetStress(t *testing.T) {
+	b := NewBudget(3)
+	const maxLimit = 5
+	var peak atomic.Int32
+	var cur atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for j := 0; j < 200; j++ {
+				if err := b.Acquire(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				b.Release()
+			}
+		}()
+	}
+	limits := []int{1, 2, maxLimit, 3, 1, 4}
+	for i := 0; i < 60; i++ {
+		b.SetLimit(limits[i%len(limits)])
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.SetLimit(maxLimit)
+	wg.Wait()
+	if b.InUse() != 0 {
+		t.Fatalf("in use = %d after all released, want 0", b.InUse())
+	}
+	if p := peak.Load(); p > maxLimit {
+		t.Fatalf("peak concurrency %d exceeded max limit %d", p, maxLimit)
+	}
+}

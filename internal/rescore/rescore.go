@@ -51,6 +51,10 @@ type Config struct {
 	// knob keeps the pipeline fed without monopolizing the worker pool
 	// serving live traffic.
 	Concurrency int
+	// Budget, when non-nil, replaces the fixed Concurrency bound with a
+	// dynamic one the watchdog can lower mid-run (SLO fast burn → halve) and
+	// restore. When nil the driver builds a private NewBudget(Concurrency).
+	Budget *Budget
 	// CheckpointPath is where the durable cursor lives. Empty disables
 	// durability: the run still works, it just cannot resume after a crash.
 	CheckpointPath string
@@ -109,6 +113,9 @@ func New(lake *Lake, scorer Scorer, idx *discovery.SwapIndex, cfg Config) *Drive
 	if cfg.Concurrency < 1 {
 		cfg.Concurrency = 2
 	}
+	if cfg.Budget == nil {
+		cfg.Budget = NewBudget(cfg.Concurrency)
+	}
 	d := &Driver{
 		lake: lake, scorer: scorer, idx: idx, cfg: cfg,
 		prog: Progress{State: "pending", ModelID: cfg.ModelID},
@@ -119,6 +126,12 @@ func New(lake *Lake, scorer Scorer, idx *discovery.SwapIndex, cfg Config) *Drive
 	d.posG = reg.Gauge("rescore.cursor.position")
 	d.totalG = reg.Gauge("rescore.tables.total")
 	d.active = reg.Gauge("rescore.active")
+	if reg != nil {
+		budget := cfg.Budget
+		reg.GaugeFunc("rescore.concurrency.limit", func() float64 {
+			return float64(budget.Limit())
+		})
+	}
 	return d
 }
 
@@ -302,8 +315,8 @@ func (d *Driver) run(ctx context.Context) error {
 		p.Resumed = resumed
 	})
 
-	// Score the remaining suffix: one goroutine per batch gated by a
-	// concurrency semaphore, results committed strictly in scan order so the
+	// Score the remaining suffix: one goroutine per batch gated by the
+	// concurrency budget, results committed strictly in scan order so the
 	// checkpoint is always a contiguous prefix.
 	pending := cp.IDs[cp.Pos:]
 	var batches [][]string
@@ -319,20 +332,18 @@ func (d *Driver) run(ctx context.Context) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make([]chan batchResult, len(batches))
-	sem := make(chan struct{}, d.cfg.Concurrency)
+	budget := d.cfg.Budget
 	var wg sync.WaitGroup
 	for i := range batches {
 		results[i] = make(chan batchResult, 1)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-runCtx.Done():
-				results[i] <- batchResult{err: runCtx.Err()}
+			if err := budget.Acquire(runCtx); err != nil {
+				results[i] <- batchResult{err: err}
 				return
 			}
+			defer budget.Release()
 			results[i] <- d.scoreBatch(runCtx, batches[i])
 		}(i)
 	}

@@ -206,6 +206,8 @@ func exemptFromLimits(path string) bool {
 		path == "/v1/metrics" || path == "/v1/traces" || path == "/v1/slo" ||
 		path == "/v1/models" || strings.HasPrefix(path, "/v1/models/") ||
 		path == "/v1/index/rescore" ||
+		path == "/v1/alerts" ||
+		path == "/v1/flight" || strings.HasPrefix(path, "/v1/flight/") ||
 		strings.HasPrefix(path, "/debug/")
 }
 
@@ -250,6 +252,32 @@ func (s *Server) withDeadline(next http.Handler) http.Handler {
 	})
 }
 
+// rejectTraced wraps an admission-layer rejection — written below the mux,
+// where no route span exists — in its own root "reject" span. The span is
+// sealed errored, so the recorder always keeps its trace, and its trace ID
+// lands on the respWriter before write runs — the JSON error body the
+// client holds (429 shed, 504 queue expiry, 503 drain) then names a trace
+// that actually exists in GET /v1/traces. The span covers the whole
+// rejection, queue wait included, because the admission middleware calls
+// this after that wait elapsed with t0 already inside the request.
+func (s *Server) rejectTraced(w http.ResponseWriter, r *http.Request, write func()) {
+	ctx := obs.WithRegistry(r.Context(), s.metrics)
+	if s.recorder != nil {
+		ctx = obs.WithRecorder(ctx, s.recorder)
+	}
+	_, span := obs.StartSpan(ctx, "reject")
+	span.SetAttr("route", r.URL.Path)
+	if id := requestIDFrom(r.Context()); id != "" {
+		span.SetAttr("request_id", id)
+	}
+	if rw, ok := w.(*respWriter); ok {
+		rw.traceID = span.TraceID()
+	}
+	write()
+	span.SetError()
+	span.End()
+}
+
 // withAdmission is the overload and lifecycle gate (DESIGN.md §9). In order:
 //
 //  1. Draining (Shutdown began): reject with 503 + Retry-After.
@@ -269,8 +297,10 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 			return
 		}
 		if s.draining.Load() {
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			s.rejectTraced(w, r, func() {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			})
 			return
 		}
 		if s.sem != nil {
@@ -280,9 +310,11 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 				if int(s.queued.Add(1)) > s.maxQueue {
 					s.queued.Add(-1)
 					s.shed.Inc()
-					w.Header().Set("Retry-After", "1")
-					writeErr(w, http.StatusTooManyRequests,
-						"server at capacity (%d in flight, %d queued)", s.maxInflight, s.maxQueue)
+					s.rejectTraced(w, r, func() {
+						w.Header().Set("Retry-After", "1")
+						writeErr(w, http.StatusTooManyRequests,
+							"server at capacity (%d in flight, %d queued)", s.maxInflight, s.maxQueue)
+					})
 					return
 				}
 				select {
@@ -290,7 +322,7 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 					s.queued.Add(-1)
 				case <-r.Context().Done():
 					s.queued.Add(-1)
-					s.writeInferErr(w, r.Context().Err())
+					s.rejectTraced(w, r, func() { s.writeInferErr(w, r.Context().Err()) })
 					return
 				}
 			}
@@ -302,12 +334,14 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		if s.draining.Load() {
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			s.rejectTraced(w, r, func() {
+				w.Header().Set("Retry-After", "1")
+				writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+			})
 			return
 		}
 		if err := s.faults.Fire(r.Context(), faultinject.ServerHandle); err != nil {
-			s.writeInferErr(w, err)
+			s.rejectTraced(w, r, func() { s.writeInferErr(w, err) })
 			return
 		}
 		next.ServeHTTP(w, r)

@@ -142,8 +142,11 @@ func (s *Server) handleRescoreStart(w http.ResponseWriter, r *http.Request) {
 		ModelID:        slot.id,
 		BatchSize:      s.rescoreBatch,
 		CheckpointPath: s.rescoreCkpt,
-		Faults:         s.faults,
-		Metrics:        s.metrics,
+		// The server-lifetime budget, not a per-run semaphore: the watchdog
+		// holds a reference and throttles it while the SLO fast burn fires.
+		Budget:  s.rescoreBudget,
+		Faults:  s.faults,
+		Metrics: s.metrics,
 	})
 	// The run's context is the server's, not the request's: the client that
 	// kicked the re-score off disconnects long before a lake-sized scan

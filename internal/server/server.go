@@ -83,6 +83,7 @@ import (
 	"github.com/sematype/pythagoras/internal/obs"
 	"github.com/sematype/pythagoras/internal/obs/logz"
 	"github.com/sematype/pythagoras/internal/obs/slo"
+	"github.com/sematype/pythagoras/internal/obs/watch"
 	"github.com/sematype/pythagoras/internal/par"
 	"github.com/sematype/pythagoras/internal/rescore"
 	"github.com/sematype/pythagoras/internal/table"
@@ -153,9 +154,26 @@ type Server struct {
 	rescore rescoreState
 
 	// rescoreCkpt/rescoreBatch configure re-score runs: the durable cursor
-	// path ("" = in-memory only) and the engine batch size.
-	rescoreCkpt  string
-	rescoreBatch int
+	// path ("" = in-memory only) and the engine batch size. rescoreBudget is
+	// the shared dynamic concurrency gate every run scores under — the
+	// watchdog's rescore-throttle action halves it while the SLO fast burn
+	// fires and restores it on clear.
+	rescoreCkpt   string
+	rescoreBatch  int
+	rescoreBudget *rescore.Budget
+
+	// Anomaly watchdog (watch.go, DESIGN.md §16): rules over the signal
+	// surfaces above, the flight recorder behind GET /v1/flight, and the
+	// once-per-candidate auto-rollback latch (autoRolledBack, under lcMu).
+	watchdog       *watch.Watchdog
+	flights        *watch.FlightDir
+	watchInterval  time.Duration
+	watchNow       func() time.Time
+	flightDir      string
+	flightMax      int
+	agreeMin       float64
+	agreeWindow    time.Duration
+	autoRolledBack *modelSlot
 
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the middleware chain
@@ -332,6 +350,8 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 		shadowSample: 1,
 		shadowSeed:   defaultShadowSeed,
 		primaryID:    "boot",
+		agreeMin:     DefaultShadowAgreementMin,
+		agreeWindow:  DefaultShadowAgreementWindow,
 	}
 	for _, o := range opts {
 		o(s)
@@ -413,6 +433,9 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 	s.route("GET /v1/models", s.handleModelsStatus)
 	s.route("POST /v1/models/promote", s.handleModelsPromote)
 	s.route("POST /v1/models/rollback", s.handleModelsRollback)
+	s.route("GET /v1/alerts", s.handleAlerts)
+	s.route("GET /v1/flight", s.handleFlightList)
+	s.route("GET /v1/flight/{id}", s.handleFlightGet)
 	if s.debug {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -422,6 +445,11 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 		s.mux.Handle("GET /debug/vars", expvar.Handler())
 		s.metrics.PublishExpvar("pythagoras")
 	}
+
+	// The re-score budget exists before any run so the watchdog's throttle
+	// action has a stable target to halve and restore.
+	s.rescoreBudget = rescore.NewBudget(2)
+	s.initWatchdog()
 
 	s.handler = s.withRequestID(s.withAccessLog(s.withRecover(s.withDeadline(s.withAdmission(s.mux)))))
 	return s
@@ -436,6 +464,10 @@ func NewWithEngine(eng *infer.Engine, minConfidence float64, opts ...Option) *Se
 // which closes the listeners. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// The watchdog stops first: a tick landing mid-teardown would act on
+	// subsystems being dismantled. Stop waits the loop out (no-op when the
+	// loop was never started).
+	s.watchdog.Stop()
 	// A background lake re-score must not outlive the server: cancel it
 	// (the durable cursor survives for the next process to resume) and,
 	// after the request drain below, wait for its goroutine to unwind.
@@ -567,8 +599,13 @@ type BatchResponse struct {
 	Results []PredictResponse `json:"results"`
 }
 
+// errorResponse is the one JSON error shape every path emits. TraceID, when
+// the request carries a trace (route-opened root span, or an admission
+// rejection's reject span), joins the error body to GET /v1/traces — a
+// client holding a 429/504 body can hand support the exact trace.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -578,7 +615,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	resp := errorResponse{Error: fmt.Sprintf(format, args...)}
+	// The whole middleware chain below the access log sees the respWriter;
+	// whatever span owner set its trace ID rides along on every error body.
+	if rw, ok := w.(*respWriter); ok {
+		resp.TraceID = rw.traceID
+	}
+	writeJSON(w, status, resp)
 }
 
 // toTable converts a request into the internal table model, inferring
